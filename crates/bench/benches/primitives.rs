@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the work-depth primitives (the PBBS substrate
+//! of §2): prefix sum, filter, comparison sort, integer sort — at 1
+//! thread vs all threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgc_parallel::{counting_sort_by_key, filter, merge_sort_by, scan_inclusive, Pool};
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn data_u64() -> Vec<u64> {
+    (0..N as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16)
+        .collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let data = data_u64();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for t in [1usize, threads] {
+        let pool = Pool::new(t);
+        group.bench_with_input(BenchmarkId::new("scan_inclusive", t), &t, |b, _| {
+            b.iter(|| black_box(scan_inclusive(&pool, black_box(&data), 0u64, |a, b| a + b)))
+        });
+        group.bench_with_input(BenchmarkId::new("filter_mod3", t), &t, |b, _| {
+            b.iter(|| black_box(filter(&pool, black_box(&data), |&x| x % 3 == 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("merge_sort", t), &t, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                merge_sort_by(&pool, &mut v, |a, b| a.cmp(b));
+                black_box(v)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("counting_sort_64k_keys", t), &t, |b, _| {
+            b.iter(|| {
+                black_box(counting_sort_by_key(
+                    &pool,
+                    black_box(&data),
+                    |&x| (x & 0xFFFF) as usize,
+                    1 << 16,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

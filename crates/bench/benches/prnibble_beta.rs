@@ -1,0 +1,37 @@
+//! §3.3's β-fraction ablation: pushing only the top β of eligible
+//! vertices per parallel iteration trades iterations for wasted work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgc_core::{prnibble_par, PrNibbleParams, Seed};
+use lgc_graph::gen;
+use lgc_parallel::Pool;
+use std::hint::black_box;
+
+fn bench_beta(c: &mut Criterion) {
+    let g = gen::rmat_graph500(13, 10, 1);
+    let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let pool = Pool::new(threads);
+
+    let mut group = c.benchmark_group("prnibble_beta");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for beta in [0.25, 0.5, 0.75, 1.0] {
+        let params = PrNibbleParams {
+            alpha: 0.01,
+            eps: 1e-6,
+            beta,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, _| {
+            b.iter(|| black_box(prnibble_par(&pool, &g, &seed, &params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beta);
+criterion_main!(benches);

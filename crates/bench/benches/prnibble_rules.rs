@@ -1,0 +1,59 @@
+//! Figure 4 ablation: PR-Nibble's original vs optimized push rule, plus
+//! the §3.3 FIFO vs priority-queue sequential variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgc_core::{prnibble_seq, prnibble_seq_priority_queue, PrNibbleParams, PushRule, Seed};
+use lgc_graph::gen;
+use std::hint::black_box;
+
+fn bench_rules(c: &mut Criterion) {
+    let graphs = vec![
+        ("rmat", gen::rmat_graph500(13, 10, 1)),
+        ("randLocal", gen::rand_local(100_000, 5, 2)),
+        ("ba", gen::barabasi_albert(50_000, 3, 3)),
+    ];
+    let mut group = c.benchmark_group("prnibble_rules");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for (name, g) in &graphs {
+        let seed = Seed::single(lgc_graph::largest_component(g)[0]);
+        let base = PrNibbleParams {
+            alpha: 0.01,
+            eps: 1e-6,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("original", name), name, |b, _| {
+            b.iter(|| {
+                black_box(prnibble_seq(
+                    g,
+                    &seed,
+                    &PrNibbleParams {
+                        rule: PushRule::Original,
+                        ..base
+                    },
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", name), name, |b, _| {
+            b.iter(|| {
+                black_box(prnibble_seq(
+                    g,
+                    &seed,
+                    &PrNibbleParams {
+                        rule: PushRule::Optimized,
+                        ..base
+                    },
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("priority_queue", name), name, |b, _| {
+            b.iter(|| black_box(prnibble_seq_priority_queue(g, &seed, &base)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

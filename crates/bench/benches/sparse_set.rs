@@ -1,0 +1,82 @@
+//! Ablation: the phase-concurrent hash table vs a mutex-protected std
+//! `HashMap` vs the sequential sparse set — the §4 observation that the
+//! concurrent table beats STL `unordered_map` even on one thread.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgc_parallel::Pool;
+use lgc_sparse::{ConcurrentSparseVec, SparseVec};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+const N: usize = 1 << 18;
+const KEY_RANGE: u32 = 1 << 14;
+
+fn keys() -> Vec<u32> {
+    (0..N)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % KEY_RANGE as u64) as u32)
+        .collect()
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let keys = keys();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let mut group = c.benchmark_group("sparse_set");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("seq_sparse_vec", |b| {
+        b.iter(|| {
+            let mut m = SparseVec::with_capacity(0.0, KEY_RANGE as usize);
+            for &k in &keys {
+                m.add(k, 1.0);
+            }
+            black_box(m.len())
+        })
+    });
+
+    group.bench_function("std_hashmap", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u32, f64> = HashMap::with_capacity(KEY_RANGE as usize);
+            for &k in &keys {
+                *m.entry(k).or_insert(0.0) += 1.0;
+            }
+            black_box(m.len())
+        })
+    });
+
+    for t in [1usize, threads] {
+        let pool = Pool::new(t);
+        group.bench_with_input(BenchmarkId::new("concurrent_table", t), &t, |b, _| {
+            b.iter(|| {
+                let m = ConcurrentSparseVec::with_capacity(KEY_RANGE as usize);
+                pool.run(keys.len(), 4096, |s, e| {
+                    for &k in &keys[s..e] {
+                        m.add(k, 1.0);
+                    }
+                });
+                black_box(m.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mutexed_hashmap", t), &t, |b, _| {
+            b.iter(|| {
+                let m: Mutex<HashMap<u32, f64>> =
+                    Mutex::new(HashMap::with_capacity(KEY_RANGE as usize));
+                pool.run(keys.len(), 4096, |s, e| {
+                    for &k in &keys[s..e] {
+                        *m.lock().entry(k).or_insert(0.0) += 1.0;
+                    }
+                });
+                let len = m.lock().len();
+                black_box(len)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse);
+criterion_main!(benches);

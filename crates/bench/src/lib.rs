@@ -1,0 +1,131 @@
+//! Shared infrastructure for the benchmark harness: the stand-in graph
+//! suite (Table 2 analogue) and timing helpers.
+//!
+//! The paper's evaluation graphs (SNAP social networks, Twitter, Yahoo
+//! web — up to 6.4B edges) cannot be shipped or held in this container;
+//! `DESIGN.md` §3 records the substitution argument. Each stand-in keeps
+//! the *family* (power-law social graph, citation preferential
+//! attachment, mesh, …) at a scale where every experiment finishes on a
+//! laptop. Sizes are chosen so the diffusions touch tens of thousands of
+//! vertices — the regime the paper says parallelism pays off in.
+
+use lgc_graph::{gen, Graph};
+use std::time::Instant;
+
+/// One evaluation graph: a name tying it to the paper's Table 2 row and
+/// the generated stand-in.
+pub struct SuiteGraph {
+    /// Stand-in name (paper graph it replaces).
+    pub name: &'static str,
+    /// The paper's original graph this stands in for.
+    pub replaces: &'static str,
+    /// The generated graph.
+    pub graph: Graph,
+}
+
+/// Builds the full graph suite (Table 2 analogue). `quick` shrinks every
+/// graph ~4× for smoke runs.
+pub fn suite(quick: bool) -> Vec<SuiteGraph> {
+    let s = |full: u32, quick_scale: u32| if quick { quick_scale } else { full };
+    let n = |full: usize, q: usize| if quick { q } else { full };
+    vec![
+        SuiteGraph {
+            name: "soc-lj-sim",
+            replaces: "soc-LJ (4.8M v, 42.9M e)",
+            graph: gen::rmat_graph500(s(14, 12), 10, 1),
+        },
+        SuiteGraph {
+            name: "cit-patents-sim",
+            replaces: "cit-Patents (6.0M v, 16.5M e)",
+            graph: gen::barabasi_albert(n(40_000, 10_000), 3, 2),
+        },
+        SuiteGraph {
+            name: "com-orkut-sim",
+            replaces: "com-Orkut (3.1M v, 117.2M e)",
+            graph: gen::rmat_graph500(s(13, 11), 24, 3),
+        },
+        SuiteGraph {
+            name: "nlpkkt-sim",
+            replaces: "nlpkkt240 (28.0M v, 373.2M e)",
+            graph: gen::grid_3d(n(40, 20), n(40, 20), n(40, 20)),
+        },
+        SuiteGraph {
+            name: "twitter-sim",
+            replaces: "Twitter (41.7M v, 1.20B e)",
+            graph: gen::rmat_graph500(s(15, 12), 12, 4),
+        },
+        SuiteGraph {
+            name: "friendster-sim",
+            replaces: "com-friendster (124.8M v, 1.81B e)",
+            graph: gen::rmat_graph500(s(15, 12), 16, 5),
+        },
+        SuiteGraph {
+            name: "yahoo-sim",
+            replaces: "Yahoo (1.41B v, 6.43B e)",
+            graph: gen::rmat_graph500(s(16, 13), 8, 6),
+        },
+        SuiteGraph {
+            name: "randLocal",
+            replaces: "randLocal (10M v, 49.1M e)",
+            graph: gen::rand_local(n(300_000, 50_000), 5, 7),
+        },
+        SuiteGraph {
+            name: "3D-grid",
+            replaces: "3D-grid (9.9M v, 29.8M e)",
+            graph: gen::grid_3d(n(64, 24), n(64, 24), n(64, 24)),
+        },
+    ]
+}
+
+/// A deterministic seed vertex inside the largest component.
+pub fn suite_seed(g: &Graph) -> u32 {
+    lgc_graph::largest_component(g)[0]
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Times a closure several times, returning the result of the last run
+/// and the *minimum* wall-clock across runs (lowest-noise estimator on a
+/// shared machine).
+pub fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let (r, s) = time(&mut f);
+        best = best.min(s);
+        last = Some(r);
+    }
+    (last.unwrap(), best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_builds_and_is_nontrivial() {
+        let graphs = suite(true);
+        assert_eq!(graphs.len(), 9);
+        for sg in &graphs {
+            assert!(sg.graph.num_edges() > 1000, "{} too small", sg.name);
+            let seed = suite_seed(&sg.graph);
+            assert!(sg.graph.degree(seed) > 0, "{}: disconnected seed", sg.name);
+        }
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let (v, s) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+        let (v, s) = time_best_of(3, || 7);
+        assert_eq!(v, 7);
+        assert!(s >= 0.0);
+    }
+}

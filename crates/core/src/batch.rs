@@ -1,0 +1,102 @@
+//! Inter-query parallelism — the baseline the paper argues *against*.
+//!
+//! §1: "A straightforward way to use parallelism is to run many local
+//! graph computations independently in parallel, and this can be useful
+//! for certain applications. However, since all of the local algorithms
+//! have many input parameters ... it may be hard to know a priori how to
+//! set the input parameters for the multiple independent computations."
+//!
+//! This module provides that straightforward mode — each query runs the
+//! *sequential* algorithm, and the queries are spread across the pool —
+//! so users with embarrassingly-many queries (e.g. NCP-style scans with
+//! known parameters) can saturate their machine, while interactive
+//! single-query workloads use the paper's intra-query parallel
+//! algorithms. The two modes compose the same primitives, so comparing
+//! them (see the `prnibble_beta`/`diffusion` benches) quantifies the
+//! paper's §1 trade-off on real hardware.
+
+use crate::prnibble::{prnibble_seq, PrNibbleParams};
+use crate::result::ClusterResult;
+use crate::seed::Seed;
+use crate::sweep::sweep_cut_seq;
+use lgc_graph::Graph;
+use lgc_parallel::{map_index, Pool};
+
+/// One clustering query: a seed set plus PR-Nibble parameters.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Where the diffusion starts.
+    pub seed: Seed,
+    /// PR-Nibble parameters for this query.
+    pub params: PrNibbleParams,
+}
+
+/// Runs many independent PR-Nibble + sweep queries, one sequential
+/// pipeline per query, distributed across the pool's threads.
+///
+/// Results are position-aligned with `queries` and bit-identical to
+/// running each query alone (each pipeline is fully deterministic), so
+/// the output does not depend on the thread count — verified by test.
+pub fn batch_prnibble(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult> {
+    map_index(pool, queries.len(), |i| {
+        let q = &queries[i];
+        let diffusion = prnibble_seq(g, &q.seed, &q.params);
+        let sweep = sweep_cut_seq(g, &diffusion.p);
+        ClusterResult::new(diffusion, sweep)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgc_graph::gen;
+
+    fn queries(n: u32) -> Vec<Query> {
+        (0..n)
+            .map(|i| Query {
+                seed: Seed::single(i * 7 % 160),
+                params: PrNibbleParams {
+                    alpha: 0.05,
+                    eps: 1e-6,
+                    ..Default::default()
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let (g, _) = gen::sbm(&[40, 40, 40, 40], 0.3, 0.01, 8);
+        let qs = queries(12);
+        let pool = Pool::new(2);
+        let batch = batch_prnibble(&pool, &g, &qs);
+        assert_eq!(batch.len(), 12);
+        for (q, got) in qs.iter().zip(&batch) {
+            let d = prnibble_seq(&g, &q.seed, &q.params);
+            let s = sweep_cut_seq(&g, &d.p);
+            assert_eq!(got.cluster, s.cluster());
+            assert_eq!(got.conductance, s.best_conductance);
+            assert_eq!(got.diffusion.p, d.p);
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_independent() {
+        let g = gen::rand_local(500, 5, 4);
+        let qs = queries(9);
+        let base = batch_prnibble(&Pool::new(1), &g, &qs);
+        for threads in [2, 4] {
+            let got = batch_prnibble(&Pool::new(threads), &g, &qs);
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a.cluster, b.cluster, "threads={threads}");
+                assert_eq!(a.conductance, b.conductance);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = gen::cycle(10);
+        assert!(batch_prnibble(&Pool::new(2), &g, &[]).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! The evolving set process (ESP) of Andersen & Peres — the §5 extension.
+//!
+//! The paper: "We implemented this algorithm but found the behavior of
+//! the algorithm to vary widely as the random choices in each iteration
+//! can lead to very different sets. We note that the algorithm can be
+//! parallelized work-efficiently by using data-parallel operations."
+//! This module provides that implementation: starting from `S = {seed}`,
+//! each step draws a uniform threshold `U ∈ (0, 1]` and replaces `S` with
+//! `S' = {v : p(v, S) ≥ U}` where `p(v, S)` is the lazy-walk transition
+//! probability into `S`:
+//!
+//! ```text
+//! p(v, S) = ½·1[v ∈ S] + ½·|N(v) ∩ S| / d(v)
+//! ```
+//!
+//! Only `S` and its boundary can have `p(v, S) > 0`, so each step costs
+//! `O(vol(S))`: one `edgeMap` counts `|N(v) ∩ S|` (an exact integer, so
+//! the sequential and parallel versions agree bit-for-bit and follow the
+//! same random trajectory), then a parallel filter applies the threshold.
+//! The lowest-conductance set seen is tracked and returned.
+
+use crate::seed::Seed;
+use lgc_graph::Graph;
+use lgc_ligra::{edge_map, VertexSubset};
+use lgc_parallel::{filter_map_index, Pool};
+use lgc_sparse::{ConcurrentSparseVec, SparseVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the evolving set process.
+#[derive(Clone, Copy, Debug)]
+pub struct EvolvingParams {
+    /// Maximum number of set-evolution steps.
+    pub max_steps: usize,
+    /// Stop early once a set with conductance ≤ this target is found
+    /// (`0.0` disables early stopping).
+    pub target_conductance: f64,
+    /// RNG seed for the threshold draws.
+    pub rng_seed: u64,
+}
+
+impl Default for EvolvingParams {
+    fn default() -> Self {
+        EvolvingParams {
+            max_steps: 50,
+            target_conductance: 0.0,
+            rng_seed: 1,
+        }
+    }
+}
+
+/// Result of an evolving-set run.
+#[derive(Clone, Debug)]
+pub struct EvolvingResult {
+    /// Best (lowest-conductance) set observed, sorted by vertex id.
+    pub best_set: Vec<u32>,
+    /// Its conductance.
+    pub best_conductance: f64,
+    /// Steps actually executed.
+    pub steps: usize,
+    /// Size of the set at each step (diagnostic: the paper observed the
+    /// trajectory "varies widely").
+    pub sizes: Vec<usize>,
+}
+
+/// `p(v, S)` for the lazy walk, from an exact `|N(v) ∩ S|` count.
+#[inline]
+fn transition(is_member: bool, neighbors_inside: u64, degree: usize) -> f64 {
+    let lazy = if is_member { 0.5 } else { 0.0 };
+    if degree == 0 {
+        lazy
+    } else {
+        lazy + 0.5 * neighbors_inside as f64 / degree as f64
+    }
+}
+
+/// Sequential evolving set process.
+pub fn evolving_set_seq(g: &Graph, seed: &Seed, params: &EvolvingParams) -> EvolvingResult {
+    let mut rng = StdRng::seed_from_u64(params.rng_seed);
+    let mut current: Vec<u32> = seed.vertices().to_vec();
+    let mut best = snapshot(g, &current);
+    let mut sizes = vec![current.len()];
+
+    for step in 0..params.max_steps {
+        if best.1 <= params.target_conductance {
+            return finish(best, step, sizes);
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+        // Exact |N(v) ∩ S| counts for everything adjacent to S.
+        let mut inside = SparseVec::new_f64();
+        for &v in &current {
+            for &w in g.neighbors(v) {
+                inside.add(w, 1.0);
+            }
+        }
+        // Candidates: S ∪ N(S) (members with no S-neighbor still qualify
+        // through the lazy self-loop ½ ≥ u half the time).
+        let mut cands: Vec<u32> = inside.iter().map(|(v, _)| v).collect();
+        cands.extend_from_slice(&current);
+        cands.sort_unstable();
+        cands.dedup();
+        let next: Vec<u32> = cands
+            .into_iter()
+            .filter(|&v| {
+                let member = current.binary_search(&v).is_ok();
+                transition(member, inside.get(v) as u64, g.degree(v)) >= u
+            })
+            .collect();
+        sizes.push(next.len());
+        if next.is_empty() || next.len() == g.num_vertices() {
+            return finish(best, step + 1, sizes);
+        }
+        let snap = snapshot(g, &next);
+        if snap.1 < best.1 {
+            best = snap;
+        }
+        current = next;
+    }
+    finish(best, params.max_steps, sizes)
+}
+
+/// Parallel evolving set process: membership counting is one `edgeMap`
+/// accumulating exact integers, the threshold test one parallel filter.
+/// Follows the identical random trajectory as [`evolving_set_seq`] for
+/// the same `rng_seed` (the counts are exact, so no float-order drift).
+pub fn evolving_set_par(
+    pool: &Pool,
+    g: &Graph,
+    seed: &Seed,
+    params: &EvolvingParams,
+) -> EvolvingResult {
+    let mut rng = StdRng::seed_from_u64(params.rng_seed);
+    let mut current = VertexSubset::from_sorted(seed.vertices().to_vec());
+    let mut best = snapshot(g, current.ids());
+    let mut sizes = vec![current.len()];
+    let mut inside = ConcurrentSparseVec::with_capacity(16);
+
+    for step in 0..params.max_steps {
+        if best.1 <= params.target_conductance {
+            return finish(best, step, sizes);
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+        let vol = current.volume(g);
+        inside.reset(pool, vol.max(1));
+        {
+            let inside_ref = &inside;
+            edge_map(pool, g, &current, |_, dst| inside_ref.add(dst, 1.0));
+        }
+        let mut cands: Vec<u32> = inside.entries(pool).into_iter().map(|(v, _)| v).collect();
+        cands.extend_from_slice(current.ids());
+        cands.sort_unstable();
+        cands.dedup();
+        let member_ids = current.ids().to_vec();
+        let inside_ref = &inside;
+        let mut next: Vec<u32> = filter_map_index(pool, cands.len(), |i| {
+            let v = cands[i];
+            let member = member_ids.binary_search(&v).is_ok();
+            (transition(member, inside_ref.get(v) as u64, g.degree(v)) >= u).then_some(v)
+        });
+        next.sort_unstable();
+        sizes.push(next.len());
+        if next.is_empty() || next.len() == g.num_vertices() {
+            return finish(best, step + 1, sizes);
+        }
+        let snap = snapshot(g, &next);
+        if snap.1 < best.1 {
+            best = snap;
+        }
+        current = VertexSubset::from_sorted(next);
+    }
+    finish(best, params.max_steps, sizes)
+}
+
+fn snapshot(g: &Graph, set: &[u32]) -> (Vec<u32>, f64) {
+    (set.to_vec(), g.conductance(set))
+}
+
+fn finish(best: (Vec<u32>, f64), steps: usize, sizes: Vec<usize>) -> EvolvingResult {
+    EvolvingResult {
+        best_set: best.0,
+        best_conductance: best.1,
+        steps,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgc_graph::gen;
+
+    #[test]
+    fn transition_probability_formula() {
+        assert_eq!(transition(true, 0, 4), 0.5);
+        assert_eq!(transition(true, 4, 4), 1.0);
+        assert_eq!(transition(false, 2, 4), 0.25);
+        assert_eq!(transition(true, 0, 0), 0.5);
+        assert_eq!(transition(false, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn finds_planted_clique_cut() {
+        let g = gen::two_cliques_bridge(10);
+        let params = EvolvingParams {
+            max_steps: 100,
+            rng_seed: 5,
+            ..Default::default()
+        };
+        let res = evolving_set_seq(&g, &Seed::single(0), &params);
+        assert!(
+            res.best_conductance <= 0.25,
+            "phi = {}",
+            res.best_conductance
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_trajectory() {
+        let g = gen::rand_local(300, 5, 11);
+        let params = EvolvingParams {
+            max_steps: 30,
+            rng_seed: 9,
+            ..Default::default()
+        };
+        let a = evolving_set_seq(&g, &Seed::single(3), &params);
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let b = evolving_set_par(&pool, &g, &Seed::single(3), &params);
+            assert_eq!(a.sizes, b.sizes, "threads={threads}");
+            assert_eq!(a.best_set, b.best_set);
+            assert_eq!(a.best_conductance, b.best_conductance);
+        }
+    }
+
+    #[test]
+    fn early_stop_at_target() {
+        let g = gen::two_cliques_bridge(8);
+        let params = EvolvingParams {
+            max_steps: 1000,
+            target_conductance: 0.5,
+            rng_seed: 2,
+        };
+        let res = evolving_set_seq(&g, &Seed::single(0), &params);
+        assert!(res.steps < 1000);
+        assert!(res.best_conductance <= 0.5);
+    }
+
+    #[test]
+    fn trajectory_is_recorded_and_runs_vary_with_seed() {
+        let g = gen::rand_local(200, 5, 3);
+        let run = |rng_seed| {
+            evolving_set_seq(
+                &g,
+                &Seed::single(0),
+                &EvolvingParams {
+                    max_steps: 20,
+                    rng_seed,
+                    ..Default::default()
+                },
+            )
+            .sizes
+        };
+        let (a, b) = (run(1), run(2));
+        assert_eq!(a[0], 1);
+        // The paper's observation: different random choices give very
+        // different trajectories.
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Parallel HK-PR (Figure 7): level-synchronous processing of the
+//! Kloster–Gleich queue.
+//!
+//! All `(·, j)` entries are processed in one iteration — legitimate
+//! because pushes only write level `j+1` — so the parallel algorithm
+//! applies *exactly the same updates* as the sequential one and returns
+//! the same vector (Theorem 4).
+
+use super::HkprParams;
+use crate::result::{Diffusion, DiffusionStats};
+use crate::seed::Seed;
+use lgc_graph::Graph;
+use lgc_ligra::{edge_map, vertex_map, VertexSubset};
+use lgc_parallel::{filter_map_index, Pool};
+use lgc_sparse::ConcurrentSparseVec;
+
+/// Parallel deterministic heat-kernel PageRank.
+/// Work `O(N² + N·e^t/ε)`, depth `O(N·t·log(1/ε))` w.h.p. (Theorem 4).
+pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
+    params.validate();
+    let n_levels = params.n_levels;
+    let psi = super::psi_table(params.t, n_levels);
+    let mut stats = DiffusionStats::default();
+
+    let mut r = ConcurrentSparseVec::with_capacity(seed.vertices().len() * 2);
+    for &x in seed.vertices() {
+        r.set(x, seed.mass_per_vertex());
+    }
+    let mut r_next = ConcurrentSparseVec::with_capacity(16);
+    let mut p = ConcurrentSparseVec::with_capacity(16);
+    // Level-0 entries are enqueued unconditionally, like the sequential
+    // algorithm's initial queue.
+    let mut frontier = VertexSubset::from_sorted(seed.vertices().to_vec());
+
+    let mut j = 0usize;
+    while !frontier.is_empty() {
+        stats.iterations += 1;
+        stats.pushes += frontier.len() as u64;
+        let vol = frontier.volume(g);
+        stats.pushed_volume += vol as u64;
+        stats.edges_traversed += vol as u64;
+
+        // UpdateSelf: bank the level-j residual.
+        p.reserve_rehash(pool, p.len() + frontier.len());
+        {
+            let (p_ref, r_ref) = (&p, &r);
+            vertex_map(pool, &frontier, |v| p_ref.add(v, r_ref.get(v)));
+        }
+
+        if j + 1 == n_levels {
+            // Last round: flush neighbor shares straight into p.
+            p.reserve_rehash(pool, p.len() + vol);
+            let (p_ref, r_ref) = (&p, &r);
+            edge_map(pool, g, &frontier, |src, dst| {
+                p_ref.add(dst, r_ref.get(src) / g.degree(src) as f64);
+            });
+            break;
+        }
+
+        // UpdateNgh: forward t·r/((j+1)·d) to level j+1.
+        r_next.reset(pool, vol.max(1));
+        {
+            let (next_ref, r_ref) = (&r_next, &r);
+            let scale = params.t / (j + 1) as f64;
+            edge_map(pool, g, &frontier, |src, dst| {
+                next_ref.add(dst, scale * r_ref.get(src) / g.degree(src) as f64);
+            });
+        }
+
+        // Next frontier: level-(j+1) entries above the admission
+        // threshold (equivalent to the sequential crossing test because
+        // the accumulation is monotone).
+        let touched = r_next.entries(pool);
+        let above = filter_map_index(pool, touched.len(), |i| {
+            let (w, m) = touched[i];
+            (m >= params.threshold(&psi, j + 1, g.degree(w))).then_some(w)
+        });
+        frontier = VertexSubset::from_unsorted(above);
+        std::mem::swap(&mut r, &mut r_next);
+        j += 1;
+    }
+
+    // Same e^{−t} normalization as the sequential version (see there).
+    let scale = (-params.t).exp();
+    let entries: Vec<(u32, f64)> = p
+        .entries(pool)
+        .into_iter()
+        .map(|(v, m)| (v, m * scale))
+        .collect();
+    let mut d = Diffusion::from_entries(entries, stats);
+    d.stats.residual_mass = (1.0 - d.total_mass()).max(0.0);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hkpr::hkpr_seq;
+    use lgc_graph::gen;
+
+    fn assert_close(a: &Diffusion, b: &Diffusion, tol: f64) {
+        assert_eq!(a.p.len(), b.p.len(), "support sizes differ");
+        for (&(va, ma), &(vb, mb)) in a.p.iter().zip(&b.p) {
+            assert_eq!(va, vb);
+            let rel = (ma - mb).abs() / ma.max(mb);
+            assert!(rel < tol, "vertex {va}: {ma} vs {mb}");
+        }
+    }
+
+    #[test]
+    fn single_thread_parallel_is_bit_identical_on_star() {
+        let g = gen::star(6);
+        let params = HkprParams {
+            t: 2.0,
+            n_levels: 5,
+            eps: 1e-8,
+        };
+        let a = hkpr_seq(&g, &Seed::single(0), &params);
+        let pool = Pool::new(1);
+        let b = hkpr_par(&pool, &g, &Seed::single(0), &params);
+        assert_eq!(a.p, b.p);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_vector() {
+        let g = gen::rmat_graph500(10, 8, 6);
+        let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
+        let params = HkprParams {
+            t: 8.0,
+            n_levels: 15,
+            eps: 1e-6,
+        };
+        let a = hkpr_seq(&g, &seed, &params);
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let b = hkpr_par(&pool, &g, &seed, &params);
+            assert_close(&a, &b, 1e-10);
+            assert_eq!(
+                a.stats.pushes, b.stats.pushes,
+                "same queue entries processed"
+            );
+        }
+    }
+
+    #[test]
+    fn levels_bounded_by_n() {
+        let g = gen::rand_local(1000, 5, 7);
+        let pool = Pool::new(2);
+        let params = HkprParams {
+            t: 10.0,
+            n_levels: 8,
+            eps: 1e-9,
+        };
+        let d = hkpr_par(&pool, &g, &Seed::single(0), &params);
+        assert!(d.stats.iterations <= 8);
+    }
+
+    #[test]
+    fn last_level_flushes_to_neighbors() {
+        let g = gen::path(3);
+        let pool = Pool::new(2);
+        // N=1: p[seed]=1 plus each neighbor rv/d, scaled by e^{−t}.
+        let t = 1.0;
+        let d = hkpr_par(
+            &pool,
+            &g,
+            &Seed::single(1),
+            &HkprParams {
+                t,
+                n_levels: 1,
+                eps: 1e-9,
+            },
+        );
+        let s = (-t).exp();
+        assert_eq!(d.mass_of(1), s);
+        assert_eq!(d.mass_of(0), 0.5 * s);
+        assert_eq!(d.mass_of(2), 0.5 * s);
+    }
+
+    #[test]
+    fn multi_seed_splits_mass() {
+        let g = gen::cycle(12);
+        let pool = Pool::new(2);
+        let d = hkpr_par(
+            &pool,
+            &g,
+            &Seed::set(vec![0, 6]),
+            &HkprParams {
+                t: 2.0,
+                n_levels: 6,
+                eps: 1e-7,
+            },
+        );
+        // Symmetry: masses around each seed mirror each other.
+        assert!((d.mass_of(0) - d.mass_of(6)).abs() < 1e-12);
+        assert!((d.mass_of(1) - d.mass_of(7)).abs() < 1e-12);
+    }
+}

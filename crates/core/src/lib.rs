@@ -1,0 +1,102 @@
+//! Parallel local graph clustering — a Rust reproduction of
+//! *"Parallel Local Graph Clustering"* (Shun, Roosta-Khorasani,
+//! Fountoulakis, Mahoney; VLDB 2016).
+//!
+//! Local clustering algorithms find a low-conductance cluster around a
+//! seed vertex with work proportional to the size of the cluster, not the
+//! graph. This crate provides sequential and work-efficient parallel
+//! implementations of the paper's four diffusion processes and its
+//! parallel sweep-cut rounding procedure:
+//!
+//! | Algorithm | Sequential | Parallel | Paper |
+//! |---|---|---|---|
+//! | Nibble (truncated lazy random walk) | [`nibble_seq`] | [`nibble_par`] | §3.2, Thm 2 |
+//! | PageRank-Nibble (approximate PPR pushes) | [`prnibble_seq`] | [`prnibble_par`] | §3.3, Thm 3 |
+//! | Deterministic heat-kernel PageRank | [`hkpr_seq`] | [`hkpr_par`] | §3.4, Thm 4 |
+//! | Randomized heat-kernel PageRank | [`rand_hkpr_seq`] | [`rand_hkpr_par`] | §3.5, Thm 5 |
+//! | Sweep cut | [`sweep_cut_seq`] | [`sweep_cut_par`] | §3.1, Thm 1 |
+//!
+//! Each diffusion returns a sparse mass vector `p` ([`Diffusion`]); the
+//! sweep cut sorts its support by `p[v]/d(v)` and returns the prefix with
+//! minimum conductance ([`SweepCut`]). The one-call convenience wrapper is
+//! [`find_cluster`].
+//!
+//! ```
+//! use lgc_core::{find_cluster, Algorithm, PrNibbleParams, Seed};
+//! use lgc_graph::gen;
+//! use lgc_parallel::Pool;
+//!
+//! // Two 12-cliques joined by one edge: the planted cluster is obvious.
+//! let g = gen::two_cliques_bridge(12);
+//! let pool = Pool::new(2);
+//! let result = find_cluster(
+//!     &pool,
+//!     &g,
+//!     &Seed::single(3),
+//!     &Algorithm::PrNibble(PrNibbleParams::default()),
+//! );
+//! let mut cluster = result.cluster.clone();
+//! cluster.sort_unstable();
+//! assert_eq!(cluster, (0..12).collect::<Vec<u32>>());
+//! ```
+//!
+//! Extensions beyond the paper's core (flagged as such in its text):
+//! multi-vertex seeds (footnote 5), the β-fraction PR-Nibble variant
+//! (§3.3), the priority-queue sequential ablation (§3.3), the evolving-set
+//! process (§5), and network-community-profile generation (§4, Fig. 12).
+
+mod batch;
+mod evolving;
+mod hkpr;
+mod ncp;
+mod nibble;
+mod prnibble;
+mod rand_hkpr;
+mod result;
+mod seed;
+mod sweep;
+
+pub use batch::{batch_prnibble, Query};
+pub use evolving::{evolving_set_par, evolving_set_seq, EvolvingParams, EvolvingResult};
+pub use hkpr::{hkpr_par, hkpr_seq, psi_table, HkprParams};
+pub use ncp::{ncp_prnibble, NcpParams, NcpPoint};
+pub use nibble::{nibble_par, nibble_seq, nibble_with_target_par, NibbleParams};
+pub use prnibble::{
+    prnibble_par, prnibble_seq, prnibble_seq_priority_queue, PrNibbleParams, PushRule,
+};
+pub use rand_hkpr::{rand_hkpr_par, rand_hkpr_seq, RandHkprParams};
+pub use result::{ClusterResult, Diffusion, DiffusionStats};
+pub use seed::Seed;
+pub use sweep::{sweep_cut_par, sweep_cut_seq, SweepCut};
+
+use lgc_graph::Graph;
+use lgc_parallel::Pool;
+
+/// Which diffusion to run (with its parameters).
+#[derive(Clone, Debug)]
+pub enum Algorithm {
+    /// Spielman–Teng truncated lazy random walk (§3.2).
+    Nibble(NibbleParams),
+    /// Andersen–Chung–Lang approximate personalized PageRank (§3.3).
+    PrNibble(PrNibbleParams),
+    /// Kloster–Gleich deterministic heat-kernel PageRank (§3.4).
+    Hkpr(HkprParams),
+    /// Chung–Simpson randomized heat-kernel PageRank (§3.5).
+    RandHkpr(RandHkprParams),
+}
+
+/// Runs the chosen diffusion from `seed` and rounds with the parallel
+/// sweep cut — the full pipeline of the paper, in one call.
+///
+/// With a 1-thread [`Pool`] every stage runs sequentially (the paper's
+/// `T1` configuration); with more threads every stage is parallel.
+pub fn find_cluster(pool: &Pool, g: &Graph, seed: &Seed, algo: &Algorithm) -> ClusterResult {
+    let diffusion = match algo {
+        Algorithm::Nibble(p) => nibble_par(pool, g, seed, p),
+        Algorithm::PrNibble(p) => prnibble_par(pool, g, seed, p),
+        Algorithm::Hkpr(p) => hkpr_par(pool, g, seed, p),
+        Algorithm::RandHkpr(p) => rand_hkpr_par(pool, g, seed, p),
+    };
+    let sweep = sweep_cut_par(pool, g, &diffusion.p);
+    ClusterResult::new(diffusion, sweep)
+}

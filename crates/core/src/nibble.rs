@@ -1,0 +1,405 @@
+//! Nibble — the Spielman–Teng truncated lazy random walk (§3.2).
+//!
+//! Starting from mass 1 on the seed, each iteration keeps half of every
+//! *active* vertex's mass in place and spreads the other half uniformly
+//! over its neighbors; a vertex is active while its mass is at least
+//! `ε·d(v)` (mass below the threshold is truncated from propagation —
+//! that is what keeps the walk local). The algorithm runs for up to `T`
+//! iterations, returning the previous vector if the frontier empties
+//! (the paper's modification that skips the per-iteration sweep).
+//!
+//! The parallel version (Figure 3) processes the whole frontier with
+//! `vertexMap`/`edgeMap` per iteration: Theorem 2 gives `O(T/ε)` work and
+//! `O(T log(1/ε))` depth.
+
+use crate::result::{Diffusion, DiffusionStats};
+use crate::seed::Seed;
+use lgc_graph::Graph;
+use lgc_ligra::{edge_map, vertex_map, VertexSubset};
+use lgc_parallel::Pool;
+use lgc_sparse::{ConcurrentSparseVec, SparseVec};
+
+/// Parameters for Nibble.
+#[derive(Clone, Copy, Debug)]
+pub struct NibbleParams {
+    /// Maximum number of lazy-walk iterations `T`.
+    pub t_max: usize,
+    /// Truncation threshold `ε` (a vertex stays active while
+    /// `p[v] ≥ ε·d(v)`). Smaller ε explores more of the graph.
+    pub eps: f64,
+}
+
+impl Default for NibbleParams {
+    /// The paper's Table 3 setting: `T = 20`, `ε = 10⁻⁸`.
+    fn default() -> Self {
+        NibbleParams {
+            t_max: 20,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Sequential Nibble.
+pub fn nibble_seq(g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
+    let eps = params.eps;
+    let mut stats = DiffusionStats::default();
+
+    let mut p = SparseVec::new_f64();
+    for &x in seed.vertices() {
+        p.set(x, seed.mass_per_vertex());
+    }
+    let mut frontier: Vec<u32> = active_seed(g, seed, eps);
+
+    for _ in 0..params.t_max {
+        if frontier.is_empty() {
+            break;
+        }
+        stats.iterations += 1;
+        stats.pushes += frontier.len() as u64;
+
+        // Two phases in the same order as Figure 3's vertexMap-then-
+        // edgeMap, so the single-threaded parallel version accumulates
+        // in the identical order (bit-equal outputs).
+        let mut p_new = SparseVec::with_capacity(0.0, frontier.len() * 2);
+        for &v in &frontier {
+            p_new.add(v, p.get(v) / 2.0); // UpdateSelf
+        }
+        for &v in &frontier {
+            let share = p.get(v) / (2.0 * g.degree(v) as f64);
+            for &w in g.neighbors(v) {
+                p_new.add(w, share); // UpdateNgh
+                stats.edges_traversed += 1;
+            }
+            stats.pushed_volume += g.degree(v) as u64;
+        }
+
+        // New frontier: touched vertices with enough mass (sorted for
+        // deterministic iteration order).
+        let mut next: Vec<u32> = p_new
+            .iter()
+            .filter(|&(v, m)| m >= eps * g.degree(v) as f64)
+            .map(|(v, _)| v)
+            .collect();
+        next.sort_unstable();
+
+        if next.is_empty() {
+            // Frontier died: return the *previous* vector (line 15 of
+            // Figure 3 breaks before `p = p'`).
+            return finish(p.entries_sorted(), stats);
+        }
+        p = p_new;
+        frontier = next;
+    }
+    finish(p.entries_sorted(), stats)
+}
+
+/// Parallel Nibble (Figure 3): one `vertexMap` + `edgeMap` + filter per
+/// iteration, mass vectors in concurrent sparse sets.
+pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
+    let eps = params.eps;
+    let mut stats = DiffusionStats::default();
+
+    let mut p = ConcurrentSparseVec::with_capacity(seed.vertices().len());
+    for &x in seed.vertices() {
+        p.set(x, seed.mass_per_vertex());
+    }
+    let mut frontier = VertexSubset::from_sorted(active_seed(g, seed, eps));
+    let mut p_new = ConcurrentSparseVec::with_capacity(16);
+
+    for _ in 0..params.t_max {
+        if frontier.is_empty() {
+            break;
+        }
+        stats.iterations += 1;
+        stats.pushes += frontier.len() as u64;
+        let vol = frontier.volume(g);
+        stats.pushed_volume += vol as u64;
+        stats.edges_traversed += vol as u64;
+
+        // Touched keys this iteration ≤ |frontier| + vol(frontier).
+        p_new.reset(pool, frontier.len() + vol);
+
+        let p_ref = &p;
+        let p_new_ref = &p_new;
+        vertex_map(pool, &frontier, |v| {
+            p_new_ref.add(v, p_ref.get(v) / 2.0);
+        });
+        edge_map(pool, g, &frontier, |src, dst| {
+            p_new_ref.add(dst, p_ref.get(src) / (2.0 * g.degree(src) as f64));
+        });
+
+        // Frontier = {v : p'[v] ≥ ε·d(v)} over the touched vertices.
+        let touched = p_new.entries(pool);
+        let above = lgc_parallel::filter_map_index(pool, touched.len(), |i| {
+            let (v, m) = touched[i];
+            (m >= eps * g.degree(v) as f64).then_some(v)
+        });
+        if above.is_empty() {
+            return finish(p.entries(pool), stats);
+        }
+        frontier = VertexSubset::from_unsorted(above);
+        std::mem::swap(&mut p, &mut p_new);
+    }
+    finish(p.entries(pool), stats)
+}
+
+/// The *original* Spielman–Teng Nibble loop (§3.2 before the paper's
+/// modification): run a sweep cut after **every** iteration and stop as
+/// soon as a prefix with conductance below `phi_target` appears.
+///
+/// Returns the first cluster meeting the target, or `None` if the walk
+/// dies or `t_max` passes without reaching it. Theorem 2 notes the
+/// per-iteration sweep raises the work to `O((T/ε)·log(1/ε))` without
+/// increasing the depth.
+pub fn nibble_with_target_par(
+    pool: &Pool,
+    g: &Graph,
+    seed: &Seed,
+    params: &NibbleParams,
+    phi_target: f64,
+) -> Option<crate::sweep::SweepCut> {
+    assert!(phi_target > 0.0, "target conductance must be positive");
+    let eps = params.eps;
+    let mut p = ConcurrentSparseVec::with_capacity(seed.vertices().len());
+    for &x in seed.vertices() {
+        p.set(x, seed.mass_per_vertex());
+    }
+    let mut frontier = VertexSubset::from_sorted(active_seed(g, seed, eps));
+    let mut p_new = ConcurrentSparseVec::with_capacity(16);
+
+    for _ in 0..params.t_max {
+        if frontier.is_empty() {
+            return None;
+        }
+        let vol = frontier.volume(g);
+        p_new.reset(pool, frontier.len() + vol);
+        let p_ref = &p;
+        let p_new_ref = &p_new;
+        vertex_map(pool, &frontier, |v| {
+            p_new_ref.add(v, p_ref.get(v) / 2.0);
+        });
+        edge_map(pool, g, &frontier, |src, dst| {
+            p_new_ref.add(dst, p_ref.get(src) / (2.0 * g.degree(src) as f64));
+        });
+
+        // Per-iteration sweep: stop at the first below-target cluster.
+        let entries = p_new.entries(pool);
+        let sweep = crate::sweep::sweep_cut_par(pool, g, &entries);
+        if sweep.best_size > 0 && sweep.best_conductance <= phi_target {
+            return Some(sweep);
+        }
+
+        let above = lgc_parallel::filter_map_index(pool, entries.len(), |i| {
+            let (v, m) = entries[i];
+            (m >= eps * g.degree(v) as f64).then_some(v)
+        });
+        if above.is_empty() {
+            return None;
+        }
+        frontier = VertexSubset::from_unsorted(above);
+        std::mem::swap(&mut p, &mut p_new);
+    }
+    None
+}
+
+/// The seed vertices that meet the activity threshold initially.
+fn active_seed(g: &Graph, seed: &Seed, eps: f64) -> Vec<u32> {
+    let m0 = seed.mass_per_vertex();
+    seed.vertices()
+        .iter()
+        .copied()
+        .filter(|&v| m0 >= eps * g.degree(v) as f64)
+        .collect()
+}
+
+/// Packages the final vector, recording the truncated mass.
+fn finish(entries: Vec<(u32, f64)>, stats: DiffusionStats) -> Diffusion {
+    let mut d = Diffusion::from_entries(entries, stats);
+    d.stats.residual_mass = (1.0 - d.total_mass()).max(0.0);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgc_graph::gen;
+
+    fn max_rel_diff(a: &Diffusion, b: &Diffusion) -> f64 {
+        assert_eq!(a.p.len(), b.p.len(), "support mismatch");
+        a.p.iter()
+            .zip(&b.p)
+            .map(|(&(va, ma), &(vb, mb))| {
+                assert_eq!(va, vb);
+                (ma - mb).abs() / ma.max(mb).max(f64::MIN_POSITIVE)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn mass_is_conserved_while_frontier_is_everything() {
+        // With ε tiny and few iterations, no truncation happens: the lazy
+        // walk conserves total mass exactly 1 (dyadic arithmetic).
+        let g = gen::clique(8);
+        let d = nibble_seq(
+            &g,
+            &Seed::single(0),
+            &NibbleParams {
+                t_max: 3,
+                eps: 1e-12,
+            },
+        );
+        assert!(
+            (d.total_mass() - 1.0).abs() < 1e-12,
+            "mass {}",
+            d.total_mass()
+        );
+    }
+
+    #[test]
+    fn seed_keeps_half_mass_after_one_step() {
+        let g = gen::star(5);
+        let d = nibble_seq(
+            &g,
+            &Seed::single(0),
+            &NibbleParams {
+                t_max: 1,
+                eps: 1e-9,
+            },
+        );
+        assert_eq!(d.mass_of(0), 0.5);
+        for leaf in 1..5 {
+            assert_eq!(d.mass_of(leaf), 0.125);
+        }
+    }
+
+    #[test]
+    fn empty_frontier_returns_previous_vector() {
+        // Huge ε: the seed is active initially but every vertex falls
+        // below threshold after one spread. Per Figure 3 the loop breaks
+        // *before* `p = p'`, returning the previous vector p₀.
+        let g = gen::clique(10); // degree 9
+        let eps = 0.06; // seed: 1 ≥ 0.54 ✓; after: 0.5 < 0.54, others 1/18 < 0.54
+        let d = nibble_seq(&g, &Seed::single(0), &NibbleParams { t_max: 20, eps });
+        assert_eq!(d.stats.iterations, 1);
+        assert_eq!(
+            d.p,
+            vec![(0, 1.0)],
+            "p_{{i-1}} is returned, not the dying p_i"
+        );
+        let pool = Pool::new(2);
+        let dp = nibble_par(
+            &pool,
+            &g,
+            &Seed::single(0),
+            &NibbleParams { t_max: 20, eps },
+        );
+        assert_eq!(dp.p, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn seed_below_threshold_returns_initial_vector() {
+        let g = gen::star(100); // center degree 99
+        let params = NibbleParams { t_max: 5, eps: 0.5 }; // 1 < 0.5·99
+        let d = nibble_seq(&g, &Seed::single(0), &params);
+        assert_eq!(d.p, vec![(0, 1.0)]);
+        assert_eq!(d.stats.iterations, 0);
+        let pool = Pool::new(2);
+        let dp = nibble_par(&pool, &g, &Seed::single(0), &params);
+        assert_eq!(dp.p, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn parallel_single_thread_is_bit_identical() {
+        let g = gen::rand_local(400, 5, 11);
+        let params = NibbleParams {
+            t_max: 10,
+            eps: 1e-6,
+        };
+        let pool = Pool::new(1);
+        let a = nibble_seq(&g, &Seed::single(7), &params);
+        let b = nibble_par(&pool, &g, &Seed::single(7), &params);
+        assert_eq!(a.p, b.p);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn parallel_multi_thread_matches_to_rounding() {
+        let g = gen::rmat_graph500(10, 8, 5);
+        let params = NibbleParams {
+            t_max: 12,
+            eps: 1e-7,
+        };
+        let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
+        let a = nibble_seq(&g, &seed, &params);
+        for threads in [2, 4] {
+            let pool = Pool::new(threads);
+            let b = nibble_par(&pool, &g, &seed, &params);
+            assert!(max_rel_diff(&a, &b) < 1e-9, "threads={threads}");
+            assert_eq!(a.stats.iterations, b.stats.iterations);
+            assert_eq!(a.stats.pushes, b.stats.pushes);
+        }
+    }
+
+    #[test]
+    fn multi_vertex_seed_spreads_from_all() {
+        let g = gen::cycle(20);
+        let seed = Seed::set(vec![0, 10]);
+        let d = nibble_seq(
+            &g,
+            &seed,
+            &NibbleParams {
+                t_max: 1,
+                eps: 1e-9,
+            },
+        );
+        assert_eq!(d.mass_of(0), 0.25);
+        assert_eq!(d.mass_of(10), 0.25);
+        assert_eq!(d.mass_of(1), 0.125);
+        assert_eq!(d.mass_of(11), 0.125);
+    }
+
+    #[test]
+    fn with_target_stops_at_planted_cluster() {
+        let g = gen::two_cliques_bridge(12);
+        let pool = Pool::new(2);
+        let params = NibbleParams {
+            t_max: 40,
+            eps: 1e-9,
+        };
+        let phi_target = 0.01; // the clique cut has phi = 1/133
+        let sweep = nibble_with_target_par(&pool, &g, &Seed::single(0), &params, phi_target)
+            .expect("target is reachable");
+        assert!(sweep.best_conductance <= phi_target);
+        let mut cluster = sweep.cluster().to_vec();
+        cluster.sort_unstable();
+        assert_eq!(cluster, (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn with_target_gives_up_when_unreachable() {
+        // A clique has no internal low-conductance cut.
+        let g = gen::clique(12);
+        let pool = Pool::new(2);
+        let params = NibbleParams {
+            t_max: 10,
+            eps: 1e-9,
+        };
+        assert!(nibble_with_target_par(&pool, &g, &Seed::single(0), &params, 1e-6).is_none());
+    }
+
+    #[test]
+    fn stays_local_on_large_graph() {
+        // Theorem 2: per-iteration work is O(1/ε) — with moderate ε the
+        // support must stay far below n.
+        let g = gen::grid_3d(20, 20, 20); // 8000 vertices
+        let d = nibble_seq(
+            &g,
+            &Seed::single(0),
+            &NibbleParams {
+                t_max: 5,
+                eps: 1e-4,
+            },
+        );
+        assert!(d.support_size() < 2000, "support {}", d.support_size());
+    }
+}

@@ -1,0 +1,297 @@
+//! Parallel PageRank-Nibble (Figures 5–6 of the paper).
+//!
+//! Each iteration pushes *every* vertex whose residual met the threshold
+//! at the start of the iteration, reading residuals from the iteration's
+//! start (the paper's synchronous `r`/`r'` scheme — the asynchronous
+//! single-vector variant leaks mass under races, §3.3). Untouched
+//! residuals carry over between iterations ("r′ is set to r at the
+//! beginning of an iteration"); we implement the carry-over without
+//! copying `r` by accumulating only the *neighbor contributions* in a
+//! scratch table and committing them after the frontier's self-updates,
+//! which keeps the work of an iteration `O(|frontier| + vol(frontier))`
+//! exactly as Theorem 3 charges it.
+
+use super::PrNibbleParams;
+use crate::result::{Diffusion, DiffusionStats};
+use crate::seed::Seed;
+use lgc_graph::Graph;
+use lgc_ligra::{edge_map, VertexSubset};
+use lgc_parallel::{filter_map_index, Pool, UnsafeSlice};
+use lgc_sparse::ConcurrentSparseVec;
+
+/// Parallel PR-Nibble. Work `O(1/(α·ε))` w.h.p. (Theorem 3), regardless
+/// of the iteration count; depth is one `edgeMap` + filter per iteration.
+///
+/// With `params.beta < 1`, only the top `β`-fraction of eligible vertices
+/// (by `r[v]/d(v)`) is pushed per iteration (§3.3's variant).
+pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
+    params.validate();
+    let (cp, cr, cn) = params.rule.coefficients(params.alpha);
+    let eps = params.eps;
+    let mut stats = DiffusionStats::default();
+
+    let mut r = ConcurrentSparseVec::with_capacity(seed.vertices().len() * 2);
+    for &x in seed.vertices() {
+        r.set(x, seed.mass_per_vertex());
+    }
+    let mut p = ConcurrentSparseVec::with_capacity(16);
+    let mut r_delta = ConcurrentSparseVec::with_capacity(16);
+
+    // Eligible = vertices known to satisfy r[v] ≥ ε·d(v) (sorted).
+    let mut eligible: Vec<u32> = seed
+        .vertices()
+        .iter()
+        .copied()
+        .filter(|&v| g.degree(v) > 0 && seed.mass_per_vertex() >= eps * g.degree(v) as f64)
+        .collect();
+
+    while !eligible.is_empty() {
+        stats.iterations += 1;
+        let frontier = select_frontier(g, &r, &eligible, params.beta);
+        let k = frontier.len();
+        let vol = frontier.volume(g);
+        stats.pushes += k as u64;
+        stats.pushed_volume += vol as u64;
+        stats.edges_traversed += vol as u64;
+
+        // Phase 1 (read r / write p): bank the α-fraction, remember the
+        // post-push self-residuals.
+        p.reserve_rehash(pool, p.len() + k);
+        let mut self_new = vec![0.0f64; k];
+        {
+            let view = UnsafeSlice::new(&mut self_new);
+            let ids = frontier.ids();
+            let (r_ref, p_ref) = (&r, &p);
+            pool.run(k, 256, |s, e| {
+                // Global index i addresses both `ids` and the output view.
+                #[allow(clippy::needless_range_loop)]
+                for i in s..e {
+                    let rv = r_ref.get(ids[i]);
+                    p_ref.add(ids[i], cp * rv);
+                    // SAFETY: disjoint indices.
+                    unsafe { view.write(i, cr * rv) };
+                }
+            });
+        }
+
+        // Phase 2 (read r / write r_delta): neighbor contributions, using
+        // residuals from the start of the iteration.
+        r_delta.reset(pool, vol.max(1));
+        {
+            let (r_ref, delta_ref) = (&r, &r_delta);
+            edge_map(pool, g, &frontier, |src, dst| {
+                delta_ref.add(dst, cn * r_ref.get(src) / g.degree(src) as f64);
+            });
+        }
+
+        // Phase 3 (write r): frontier self-residuals first (overwrite),
+        // then all received contributions (accumulate).
+        {
+            let ids = frontier.ids();
+            let r_ref = &r;
+            pool.run(k, 256, |s, e| {
+                for i in s..e {
+                    r_ref.set(ids[i], self_new[i]);
+                }
+            });
+        }
+        let deltas = r_delta.entries(pool);
+        r.reserve_rehash(pool, r.len() + deltas.len());
+        {
+            let r_ref = &r;
+            pool.run(deltas.len(), 512, |s, e| {
+                for &(w, dm) in &deltas[s..e] {
+                    r_ref.add(w, dm);
+                }
+            });
+        }
+
+        // Phase 4: the next eligible set can only contain previously
+        // eligible vertices or vertices that just received mass.
+        let mut cands = std::mem::take(&mut eligible);
+        cands.extend(deltas.iter().map(|&(w, _)| w));
+        cands.sort_unstable();
+        cands.dedup();
+        let r_ref = &r;
+        eligible = filter_map_index(pool, cands.len(), |i| {
+            let v = cands[i];
+            let d = g.degree(v);
+            (d > 0 && r_ref.get(v) >= eps * d as f64).then_some(v)
+        });
+    }
+
+    stats.residual_mass = r.l1_norm(pool);
+    Diffusion::from_entries(p.entries(pool), stats)
+}
+
+/// Top `β`-fraction of `eligible` by `r[v]/d(v)` (all of it when β = 1).
+fn select_frontier(
+    g: &Graph,
+    r: &ConcurrentSparseVec,
+    eligible: &[u32],
+    beta: f64,
+) -> VertexSubset {
+    if beta >= 1.0 {
+        return VertexSubset::from_sorted(eligible.to_vec());
+    }
+    let take = ((eligible.len() as f64 * beta).ceil() as usize).clamp(1, eligible.len());
+    let mut scored: Vec<(u32, f64)> = eligible
+        .iter()
+        .map(|&v| (v, r.get(v) / g.degree(v) as f64))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    VertexSubset::from_unsorted(scored[..take].iter().map(|&(v, _)| v).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prnibble::{prnibble_seq, PushRule};
+    use crate::sweep::{sweep_cut_par, sweep_cut_seq};
+    use lgc_graph::gen;
+
+    #[test]
+    fn mass_conservation_parallel() {
+        // |p|₁ + |r|₁ = 1 exactly (up to fp associativity) in every
+        // configuration — the invariant behind Theorem 3.
+        let g = gen::rmat_graph500(10, 8, 9);
+        let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
+        for rule in [PushRule::Original, PushRule::Optimized] {
+            for threads in [1, 2, 4] {
+                let pool = Pool::new(threads);
+                let params = PrNibbleParams {
+                    alpha: 0.05,
+                    eps: 1e-6,
+                    rule,
+                    beta: 1.0,
+                };
+                let d = prnibble_par(&pool, &g, &seed, &params);
+                let total = d.total_mass() + d.stats.residual_mass;
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "{rule:?} t={threads}: |p|+|r| = {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_work_bound_holds_in_parallel() {
+        let g = gen::rmat_graph500(10, 8, 2);
+        let params = PrNibbleParams {
+            alpha: 0.02,
+            eps: 1e-5,
+            ..Default::default()
+        };
+        let pool = Pool::new(4);
+        let d = prnibble_par(&pool, &g, &Seed::single(5), &params);
+        let bound = 1.0 / (params.alpha * params.eps);
+        assert!((d.stats.pushed_volume as f64) <= bound);
+    }
+
+    #[test]
+    fn parallel_does_more_pushes_but_fewer_iterations() {
+        // Table 1's observation: the parallel version pushes a little
+        // more (stale residuals) but needs far fewer iterations.
+        let g = gen::rand_local(3000, 5, 4);
+        let params = PrNibbleParams {
+            alpha: 0.01,
+            eps: 1e-6,
+            ..Default::default()
+        };
+        let seq = prnibble_seq(&g, &Seed::single(0), &params);
+        let pool = Pool::new(2);
+        let par = prnibble_par(&pool, &g, &Seed::single(0), &params);
+        assert!(par.stats.pushes >= seq.stats.pushes);
+        assert!(
+            (par.stats.pushes as f64) < 2.0 * seq.stats.pushes as f64,
+            "paper: at most ~1.6x more pushes; got {} vs {}",
+            par.stats.pushes,
+            seq.stats.pushes
+        );
+        assert!(par.stats.iterations < par.stats.pushes / 2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_find_same_quality_cluster() {
+        let g = gen::two_cliques_bridge(12);
+        let params = PrNibbleParams {
+            alpha: 0.05,
+            eps: 1e-8,
+            ..Default::default()
+        };
+        let seq_d = prnibble_seq(&g, &Seed::single(1), &params);
+        let pool = Pool::new(2);
+        let par_d = prnibble_par(&pool, &g, &Seed::single(1), &params);
+        let seq_cut = sweep_cut_seq(&g, &seq_d.p);
+        let par_cut = sweep_cut_par(&pool, &g, &par_d.p);
+        // The diffusion vectors differ (stale residuals in the parallel
+        // push schedule), but both must recover the planted clique.
+        let as_set = |c: &[u32]| {
+            let mut v = c.to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(as_set(seq_cut.cluster()), as_set(par_cut.cluster()));
+        assert!((seq_cut.best_conductance - par_cut.best_conductance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_fraction_still_terminates_and_conserves_mass() {
+        let g = gen::rand_local(1000, 5, 6);
+        let pool = Pool::new(2);
+        for beta in [0.25, 0.5, 0.9] {
+            let params = PrNibbleParams {
+                alpha: 0.05,
+                eps: 1e-6,
+                beta,
+                ..Default::default()
+            };
+            let d = prnibble_par(&pool, &g, &Seed::single(0), &params);
+            let total = d.total_mass() + d.stats.residual_mass;
+            assert!((total - 1.0).abs() < 1e-9, "beta={beta}: {total}");
+            assert!(d.support_size() > 0);
+        }
+    }
+
+    #[test]
+    fn beta_one_equals_standard_variant() {
+        let g = gen::rand_local(500, 5, 2);
+        let pool = Pool::new(1);
+        let base = PrNibbleParams {
+            alpha: 0.03,
+            eps: 1e-6,
+            ..Default::default()
+        };
+        let a = prnibble_par(&pool, &g, &Seed::single(0), &base);
+        let b = prnibble_par(
+            &pool,
+            &g,
+            &Seed::single(0),
+            &PrNibbleParams { beta: 1.0, ..base },
+        );
+        assert_eq!(a.p, b.p);
+    }
+
+    #[test]
+    fn multi_seed_parallel() {
+        let g = gen::two_cliques_bridge(10);
+        let pool = Pool::new(2);
+        let d = prnibble_par(
+            &pool,
+            &g,
+            &Seed::set(vec![0, 1, 2]),
+            &PrNibbleParams {
+                alpha: 0.1,
+                eps: 1e-7,
+                ..Default::default()
+            },
+        );
+        let in_cluster: f64 = d.p.iter().filter(|&&(v, _)| v < 10).map(|&(_, m)| m).sum();
+        assert!(in_cluster > 0.5);
+    }
+}

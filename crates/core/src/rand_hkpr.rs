@@ -1,0 +1,316 @@
+//! Randomized heat-kernel PageRank — Chung & Simpson's Monte-Carlo
+//! estimator (§3.5).
+//!
+//! Run `N` lazy-free random walks from the seed whose lengths follow a
+//! Poisson(`t`) truncated at `K`; the empirical distribution of the
+//! walks' final vertices estimates the heat-kernel vector.
+//!
+//! Parallelization is embarrassing — all walks are independent — but the
+//! paper found the naive "fetch-and-add a shared counter per destination"
+//! scheme bottlenecked on memory contention (many walks end on the same
+//! few vertices). Its fix, reproduced here: write each walk's destination
+//! into a length-`N` array, remap destinations to compact ids with a
+//! concurrent hash table, *integer sort* the ids, and read off the counts
+//! from the run boundaries (Theorem 5: `O(N·K)` work, `O(K + log N)`
+//! depth). Each walk derives its own RNG from the master seed, so the
+//! sequential and parallel versions produce *identical* vectors.
+
+use crate::result::{Diffusion, DiffusionStats};
+use crate::seed::Seed;
+use lgc_graph::Graph;
+use lgc_parallel::{counting_sort_by_key, filter_map_index, map_index, Pool};
+use lgc_sparse::{ConcurrentRankMap, SparseVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for randomized heat-kernel PageRank.
+#[derive(Clone, Copy, Debug)]
+pub struct RandHkprParams {
+    /// Diffusion time `t` (Poisson mean of the walk length).
+    pub t: f64,
+    /// Maximum walk length `K` (longer draws are truncated to `K`).
+    pub max_len: usize,
+    /// Number of random walks `N`.
+    pub walks: usize,
+    /// Master RNG seed (each walk uses an independent stream derived
+    /// from it, making runs reproducible and thread-count independent).
+    pub rng_seed: u64,
+}
+
+impl Default for RandHkprParams {
+    /// The paper's Table 3 setting scaled to laptop size: `t = 10`,
+    /// `K = 10`; the paper uses `N = 10⁸` walks, we default to `10⁵`.
+    fn default() -> Self {
+        RandHkprParams {
+            t: 10.0,
+            max_len: 10,
+            walks: 100_000,
+            rng_seed: 42,
+        }
+    }
+}
+
+impl RandHkprParams {
+    fn validate(&self) {
+        assert!(self.t > 0.0, "t must be positive");
+        assert!(self.walks >= 1, "need at least one walk");
+    }
+
+    /// CDF of the truncated Poisson(`t`) walk-length distribution:
+    /// `P(len = k) = e^{−t}·t^k/k!` for `k < K`, remainder at `K`.
+    fn length_cdf(&self) -> Vec<f64> {
+        let mut cdf = Vec::with_capacity(self.max_len + 1);
+        let mut pmf = (-self.t).exp(); // k = 0
+        let mut acc = 0.0;
+        for k in 0..self.max_len {
+            acc += pmf;
+            cdf.push(acc.min(1.0));
+            pmf *= self.t / (k + 1) as f64;
+        }
+        cdf.push(1.0); // truncation bucket at K
+        cdf
+    }
+}
+
+/// One walk: derives its RNG from `(master_seed, walk_index)`, samples a
+/// length from `cdf`, walks uniformly over neighbors. Returns the final
+/// vertex and the number of steps taken.
+fn run_walk(g: &Graph, seed: &Seed, cdf: &[f64], master_seed: u64, i: usize) -> (u32, u32) {
+    let mut rng =
+        StdRng::seed_from_u64(master_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let starts = seed.vertices();
+    let mut v = starts[if starts.len() == 1 {
+        0
+    } else {
+        rng.gen_range(0..starts.len())
+    }];
+    let u: f64 = rng.gen();
+    let len = cdf.partition_point(|&c| c < u);
+    let mut steps = 0u32;
+    for _ in 0..len {
+        let nbrs = g.neighbors(v);
+        if nbrs.is_empty() {
+            break;
+        }
+        v = nbrs[rng.gen_range(0..nbrs.len())];
+        steps += 1;
+    }
+    (v, steps)
+}
+
+/// Sequential rand-HK-PR: one walk at a time into a sparse counter.
+pub fn rand_hkpr_seq(g: &Graph, seed: &Seed, params: &RandHkprParams) -> Diffusion {
+    params.validate();
+    let cdf = params.length_cdf();
+    let mut stats = DiffusionStats::default();
+    let mut p = SparseVec::new_f64();
+    for i in 0..params.walks {
+        let (dest, steps) = run_walk(g, seed, &cdf, params.rng_seed, i);
+        p.add(dest, 1.0); // exact integer counts; scaled once below
+        stats.edges_traversed += steps as u64;
+    }
+    stats.pushes = params.walks as u64;
+    stats.iterations = params.walks as u64;
+    // Scaling counts once (instead of accumulating 1/N) keeps the values
+    // bit-identical to the parallel sort-based aggregation.
+    let scale = 1.0 / params.walks as f64;
+    let entries = p
+        .entries_sorted()
+        .into_iter()
+        .map(|(v, c)| (v, c * scale))
+        .collect();
+    Diffusion::from_entries(entries, stats)
+}
+
+/// Parallel rand-HK-PR with the paper's sort-based aggregation.
+pub fn rand_hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &RandHkprParams) -> Diffusion {
+    params.validate();
+    let cdf = params.length_cdf();
+    let n = params.walks;
+    let mut stats = DiffusionStats {
+        pushes: n as u64,
+        ..Default::default()
+    };
+
+    // All walks in parallel; destinations into a length-N array (the
+    // contention-free scheme).
+    let walks: Vec<(u32, u32)> =
+        map_index(pool, n, |i| run_walk(g, seed, &cdf, params.rng_seed, i));
+    stats.edges_traversed = walks.iter().map(|&(_, s)| s as u64).sum();
+    stats.iterations = n as u64;
+
+    // Remap destinations to compact ids via a concurrent hash table.
+    let distinct_map = ConcurrentRankMap::with_capacity(n.min(g.num_vertices()) + 1);
+    pool.run(n, 1024, |s, e| {
+        for &(dest, _) in &walks[s..e] {
+            distinct_map.insert(dest, 0);
+        }
+    });
+    let distinct = distinct_map.keys(pool);
+    pool.run(distinct.len(), 1024, |s, e| {
+        for (i, &k) in distinct[s..e].iter().enumerate() {
+            distinct_map.insert(k, (s + i) as u32);
+        }
+    });
+    let ids: Vec<u32> = map_index(pool, n, |i| {
+        distinct_map
+            .get(walks[i].0)
+            .expect("destination was inserted")
+    });
+
+    // Integer sort, then run boundaries give per-destination counts.
+    let sorted = counting_sort_by_key(pool, &ids, |&id| id as usize, distinct.len());
+    let boundaries: Vec<u32> = filter_map_index(pool, sorted.len(), |i| {
+        (i == 0 || sorted[i] != sorted[i - 1]).then_some(i as u32)
+    });
+    let scale = 1.0 / n as f64;
+    let entries: Vec<(u32, f64)> = map_index(pool, boundaries.len(), |b| {
+        let start = boundaries[b] as usize;
+        let end = boundaries.get(b + 1).map_or(n, |&x| x as usize);
+        (
+            distinct[sorted[start] as usize],
+            (end - start) as f64 * scale,
+        )
+    });
+
+    Diffusion::from_entries(entries, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgc_graph::gen;
+
+    #[test]
+    fn length_cdf_is_monotone_and_complete() {
+        let params = RandHkprParams {
+            t: 3.0,
+            max_len: 12,
+            ..Default::default()
+        };
+        let cdf = params.length_cdf();
+        assert_eq!(cdf.len(), 13);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        // For t=3, P(len = 0) = e^{-3}.
+        assert!((cdf[0] - (-3.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_mass_is_exactly_one() {
+        let g = gen::rand_local(300, 5, 1);
+        let params = RandHkprParams {
+            walks: 5000,
+            ..Default::default()
+        };
+        let d = rand_hkpr_seq(&g, &Seed::single(0), &params);
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_exactly() {
+        // Same per-walk RNG streams ⇒ identical destination multiset ⇒
+        // identical vector, regardless of thread count.
+        let g = gen::rmat_graph500(9, 8, 3);
+        let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
+        let params = RandHkprParams {
+            t: 5.0,
+            max_len: 8,
+            walks: 20_000,
+            rng_seed: 7,
+        };
+        let a = rand_hkpr_seq(&g, &seed, &params);
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let b = rand_hkpr_par(&pool, &g, &seed, &params);
+            assert_eq!(a.p, b.p, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn walk_length_zero_stays_at_seed() {
+        // t tiny: almost all walks have length 0.
+        let g = gen::cycle(10);
+        let params = RandHkprParams {
+            t: 1e-9,
+            max_len: 5,
+            walks: 1000,
+            rng_seed: 1,
+        };
+        let d = rand_hkpr_seq(&g, &Seed::single(4), &params);
+        assert!(d.mass_of(4) > 0.99);
+    }
+
+    #[test]
+    fn isolated_seed_all_mass_at_seed() {
+        let g = lgc_graph::Graph::from_edges(2, &[]);
+        let params = RandHkprParams {
+            walks: 100,
+            ..Default::default()
+        };
+        let d = rand_hkpr_seq(&g, &Seed::single(0), &params);
+        assert_eq!(d.p, vec![(0, 1.0)]);
+        let pool = Pool::new(2);
+        let dp = rand_hkpr_par(&pool, &g, &Seed::single(0), &params);
+        assert_eq!(dp.p, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn distribution_approximates_deterministic_hkpr() {
+        // Monte-Carlo estimate should land near the deterministic vector
+        // (loose tolerance: sampling noise ~ 1/sqrt(walks)).
+        let g = gen::two_cliques_bridge(8);
+        let t = 4.0;
+        let det = crate::hkpr::hkpr_seq(
+            &g,
+            &Seed::single(0),
+            &crate::hkpr::HkprParams {
+                t,
+                n_levels: 30,
+                eps: 1e-10,
+            },
+        );
+        let rnd = rand_hkpr_seq(
+            &g,
+            &Seed::single(0),
+            &RandHkprParams {
+                t,
+                max_len: 30,
+                walks: 200_000,
+                rng_seed: 3,
+            },
+        );
+        // Compare the mass of the seeded clique as a whole.
+        let clique_mass =
+            |d: &Diffusion| -> f64 { d.p.iter().filter(|&&(v, _)| v < 8).map(|&(_, m)| m).sum() };
+        let (a, b) = (clique_mass(&det), clique_mass(&rnd));
+        assert!((a - b).abs() < 0.02, "det {a} vs mc {b}");
+    }
+
+    #[test]
+    fn more_walks_reduce_variance() {
+        let g = gen::rand_local(200, 5, 9);
+        let run = |walks, rng_seed| {
+            rand_hkpr_seq(
+                &g,
+                &Seed::single(0),
+                &RandHkprParams {
+                    t: 5.0,
+                    max_len: 10,
+                    walks,
+                    rng_seed,
+                },
+            )
+            .mass_of(0)
+        };
+        // Spread of the seed-mass estimate across RNG seeds shrinks.
+        let small: Vec<f64> = (0..5).map(|s| run(500, s)).collect();
+        let large: Vec<f64> = (0..5).map(|s| run(50_000, s)).collect();
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        assert!(spread(&large) < spread(&small));
+    }
+}

@@ -1,0 +1,103 @@
+//! Diffusion and clustering result types.
+
+use crate::sweep::SweepCut;
+
+/// Work counters recorded while a diffusion runs.
+///
+/// These are the quantities the paper itself reports (Table 1 counts
+/// pushes and iterations for PR-Nibble) and the handles our tests use to
+/// check the work-bound theorems empirically.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DiffusionStats {
+    /// Number of frontier iterations (parallel) or queue pops (sequential).
+    pub iterations: u64,
+    /// Number of vertex "push"/process operations applied.
+    pub pushes: u64,
+    /// Σ d(v) over all processed vertices — the paper's work measure
+    /// (Theorem 3 bounds this by `1/(α·ε)` for PR-Nibble).
+    pub pushed_volume: u64,
+    /// Number of edges traversed by `edgeMap`/neighbor loops.
+    pub edges_traversed: u64,
+    /// Probability mass left outside the returned vector when the
+    /// algorithm stopped: `|r|₁` for the push algorithms, the truncated
+    /// mass for Nibble, unused walk mass for the heat-kernel methods.
+    /// Mass conservation means `|p|₁ + residual_mass ≈ 1`.
+    pub residual_mass: f64,
+}
+
+/// The output of a diffusion: a sparse non-negative mass vector.
+#[derive(Clone, Debug)]
+pub struct Diffusion {
+    /// `(vertex, mass)` pairs with positive mass, sorted by vertex id.
+    pub p: Vec<(u32, f64)>,
+    /// Work counters.
+    pub stats: DiffusionStats,
+}
+
+impl Diffusion {
+    pub(crate) fn from_entries(mut entries: Vec<(u32, f64)>, stats: DiffusionStats) -> Self {
+        entries.retain(|&(_, m)| m > 0.0);
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        Diffusion { p: entries, stats }
+    }
+
+    /// Number of vertices with positive mass (the sweep's `N`).
+    pub fn support_size(&self) -> usize {
+        self.p.len()
+    }
+
+    /// `ℓ₁` norm of the vector (total retained probability mass).
+    pub fn total_mass(&self) -> f64 {
+        self.p.iter().map(|&(_, m)| m).sum()
+    }
+
+    /// Mass at one vertex (`0` if absent) — linear scan, test helper.
+    pub fn mass_of(&self, v: u32) -> f64 {
+        self.p
+            .binary_search_by_key(&v, |&(u, _)| u)
+            .map(|i| self.p[i].1)
+            .unwrap_or(0.0)
+    }
+}
+
+/// A cluster produced by a diffusion followed by a sweep cut.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// Members of the best sweep prefix (in sweep order).
+    pub cluster: Vec<u32>,
+    /// Conductance of the cluster.
+    pub conductance: f64,
+    /// The diffusion vector that produced it.
+    pub diffusion: Diffusion,
+    /// The full sweep (all prefix conductances), for NCP-style analyses.
+    pub sweep: SweepCut,
+}
+
+impl ClusterResult {
+    pub(crate) fn new(diffusion: Diffusion, sweep: SweepCut) -> Self {
+        ClusterResult {
+            cluster: sweep.cluster().to_vec(),
+            conductance: sweep.best_conductance,
+            diffusion,
+            sweep,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_drops_zeros_and_sorts() {
+        let d = Diffusion::from_entries(
+            vec![(5, 0.25), (1, 0.5), (3, 0.0)],
+            DiffusionStats::default(),
+        );
+        assert_eq!(d.p, vec![(1, 0.5), (5, 0.25)]);
+        assert_eq!(d.support_size(), 2);
+        assert_eq!(d.total_mass(), 0.75);
+        assert_eq!(d.mass_of(1), 0.5);
+        assert_eq!(d.mass_of(3), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Seed sets for diffusions.
+
+/// Where a diffusion starts.
+///
+/// The paper describes algorithms from a single seed vertex but notes
+/// (footnote 5) that "our codes can easily be modified to take as input a
+/// seed set with multiple vertices", which increases frontier sizes and
+/// hence parallelism. We support both: initial mass `1` is split uniformly
+/// across the seed vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Seed {
+    vertices: Vec<u32>,
+}
+
+impl Seed {
+    /// A single seed vertex with mass 1.
+    pub fn single(v: u32) -> Self {
+        Seed { vertices: vec![v] }
+    }
+
+    /// A multi-vertex seed set; mass `1/|S|` per vertex.
+    /// Duplicates are removed; panics on an empty set.
+    pub fn set(vertices: Vec<u32>) -> Self {
+        let mut vertices = vertices;
+        vertices.sort_unstable();
+        vertices.dedup();
+        assert!(!vertices.is_empty(), "seed set must be non-empty");
+        Seed { vertices }
+    }
+
+    /// The seed vertices, sorted.
+    pub fn vertices(&self) -> &[u32] {
+        &self.vertices
+    }
+
+    /// Initial mass per seed vertex (`1/|S|`).
+    pub fn mass_per_vertex(&self) -> f64 {
+        1.0 / self.vertices.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_seed() {
+        let s = Seed::single(5);
+        assert_eq!(s.vertices(), &[5]);
+        assert_eq!(s.mass_per_vertex(), 1.0);
+    }
+
+    #[test]
+    fn set_sorts_and_dedups() {
+        let s = Seed::set(vec![9, 3, 9, 1]);
+        assert_eq!(s.vertices(), &[1, 3, 9]);
+        assert!((s.mass_per_vertex() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_panics() {
+        Seed::set(vec![]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Work-efficient parallel sweep cut — Theorem 1 of the paper.
+//!
+//! The hard part of parallelizing the sweep is computing `∂(S_j)` for all
+//! `N` prefixes at once without blowing up the work. The paper's
+//! construction: give each support vertex its *rank* in the sorted order;
+//! write, for every edge out of the support, a pair of `(±1, rank)`
+//! entries into an array `Z` of size `2·vol(S_N)` — `(1, rank(v))` and
+//! `(−1, rank(w))` if the edge goes "forward" in rank order (case a),
+//! two zeros if "backward" (case b, the duplicate orientation); integer
+//! sort `Z` by rank; then an inclusive prefix sum over the ±1 components
+//! counts, at the last entry of each rank-`j` run, exactly the edges that
+//! cross the cut `(S_j, V∖S_j)` — forward edges contribute `+1` at ranks
+//! in `(rank(v), rank(w))` and cancel outside. Volumes come from a prefix
+//! sum over degrees, and a min-reduction picks the best prefix.
+//!
+//! Everything is built from the `lgc-parallel` primitives, giving
+//! `O(N log N + vol(S_N))` work and polylogarithmic depth w.h.p.
+
+use super::{eligible_entries, prefix_conductance, sweep_order_cmp, SweepCut};
+use lgc_graph::Graph;
+use lgc_parallel::{
+    counting_sort_by_key, filter_map_index, map_index, max_by, merge_sort_by, scan_exclusive,
+    scan_inclusive, Pool, UnsafeSlice,
+};
+use lgc_sparse::ConcurrentRankMap;
+
+/// Computes the sweep cut of `p` in parallel (Theorem 1).
+///
+/// Returns results bit-identical to [`super::sweep_cut_seq`]: the same
+/// deterministic sort order, integer crossing-edge counts, and float
+/// conductances computed from identical operands.
+pub fn sweep_cut_par(pool: &Pool, g: &Graph, p: &[(u32, f64)]) -> SweepCut {
+    let mut scored = eligible_entries(g, p);
+    if scored.is_empty() {
+        return SweepCut::empty();
+    }
+    merge_sort_by(pool, &mut scored, sweep_order_cmp);
+    let n = scored.len();
+    let order: Vec<u32> = scored.iter().map(|&(v, _)| v).collect();
+
+    // rank[v] = 1-based position of v in the sweep order; vertices outside
+    // the support implicitly get rank N+1.
+    let rank = ConcurrentRankMap::with_capacity(n);
+    {
+        let order_ref = &order;
+        let rank_ref = &rank;
+        pool.run(n, 1024, |s, e| {
+            for (i, &v) in order_ref[s..e].iter().enumerate() {
+                rank_ref.insert(v, (s + i + 1) as u32);
+            }
+        });
+    }
+    let outside_rank = (n + 1) as u32;
+
+    // Degrees in rank order; exclusive prefix sum gives each vertex's
+    // slot range in the flattened edge space.
+    let degs: Vec<u64> = map_index(pool, n, |i| g.degree(order[i]) as u64);
+    let (edge_offsets, total_vol) = scan_exclusive(pool, &degs, 0u64, |a, b| a + b);
+    let total_vol = total_vol as usize;
+
+    // Build Z: two pairs per support edge slot (§3.1's cases (a)/(b)).
+    let mut z: Vec<(i32, u32)> = Vec::with_capacity(2 * total_vol);
+    {
+        let spare = z.spare_capacity_mut();
+        let zs = UnsafeSlice::new(spare);
+        let order_ref = &order;
+        let rank_ref = &rank;
+        pool.run(total_vol, 2048, |fs, fe| {
+            // Walk the flattened edge space [fs, fe), chunk-locally.
+            let mut vi = edge_offsets.partition_point(|&o| o <= fs as u64) - 1;
+            let mut f = fs;
+            while f < fe {
+                let v = order_ref[vi];
+                let rv = (vi + 1) as u32;
+                let nbrs = g.neighbors(v);
+                let local = f - edge_offsets[vi] as usize;
+                let upto = nbrs.len().min(local + (fe - f));
+                for (j, &w) in nbrs[local..upto].iter().enumerate() {
+                    let rw = rank_ref.get(w).unwrap_or(outside_rank);
+                    let pos = 2 * (f + j);
+                    let (a, b) = if rw > rv {
+                        ((1, rv), (-1, rw)) // case (a): forward edge
+                    } else {
+                        ((0, rv), (0, rw)) // case (b): duplicate orientation
+                    };
+                    // SAFETY: each flattened edge index writes its own
+                    // two slots exactly once.
+                    unsafe {
+                        zs.write(pos, std::mem::MaybeUninit::new(a));
+                        zs.write(pos + 1, std::mem::MaybeUninit::new(b));
+                    }
+                }
+                f += upto - local;
+                vi += 1;
+            }
+        });
+    }
+    // SAFETY: all 2·total_vol slots initialized above.
+    unsafe { z.set_len(2 * total_vol) };
+
+    // Integer sort by rank (keys 1..=N+1), then prefix-sum the ±1s.
+    let z_sorted = counting_sort_by_key(pool, &z, |&(_, r)| (r - 1) as usize, n + 1);
+    let deltas: Vec<i64> = map_index(pool, z_sorted.len(), |i| z_sorted[i].0 as i64);
+    let running = scan_inclusive(pool, &deltas, 0i64, |a, b| a + b);
+
+    // The last entry of each rank run holds ∂(S_rank).
+    let lasts: Vec<(u32, i64)> = filter_map_index(pool, z_sorted.len(), |i| {
+        let r = z_sorted[i].1;
+        let is_last = i + 1 == z_sorted.len() || z_sorted[i + 1].1 != r;
+        (is_last && r <= n as u32).then(|| (r, running[i]))
+    });
+    let mut crossing = vec![0u64; n];
+    {
+        let cs = UnsafeSlice::new(&mut crossing);
+        pool.run(lasts.len(), 2048, |s, e| {
+            for &(r, c) in &lasts[s..e] {
+                debug_assert!(c >= 0, "crossing count must be non-negative");
+                // SAFETY: ranks are unique, so each slot written once.
+                unsafe { cs.write((r - 1) as usize, c as u64) };
+            }
+        });
+    }
+
+    // Prefix volumes, per-prefix conductances, parallel min-reduction.
+    let vol_prefix = scan_inclusive(pool, &degs, 0u64, |a, b| a + b);
+    let total_degree = g.total_degree() as u64;
+    let conductances: Vec<f64> = map_index(pool, n, |i| {
+        prefix_conductance(crossing[i], vol_prefix[i], total_degree)
+    });
+    // "max" under the inverted comparator = first minimum.
+    let (best_idx, best_phi) = max_by(pool, &conductances, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    })
+    .expect("n >= 1");
+
+    SweepCut {
+        order,
+        conductances,
+        best_size: best_idx + 1,
+        best_conductance: best_phi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::sweep_cut_seq;
+    use lgc_graph::gen;
+
+    fn assert_same(seqr: &SweepCut, parr: &SweepCut) {
+        assert_eq!(seqr.order, parr.order);
+        assert_eq!(
+            seqr.conductances, parr.conductances,
+            "bit-identical conductances"
+        );
+        assert_eq!(seqr.best_size, parr.best_size);
+        assert_eq!(seqr.best_conductance, parr.best_conductance);
+    }
+
+    #[test]
+    fn figure1_example_parallel() {
+        let g = gen::figure1_graph();
+        let p = vec![(0u32, 0.40), (1, 0.30), (2, 0.30), (3, 0.20)];
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let sweep = sweep_cut_par(&pool, &g, &p);
+            assert_eq!(sweep.conductances, vec![1.0, 0.5, 1.0 / 7.0, 3.0 / 5.0]);
+            assert_eq!(sweep.cluster(), &[0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for (seed, threads) in [(1u64, 1usize), (2, 2), (3, 4), (4, 2)] {
+            let g = gen::rand_local(500, 5, seed);
+            let p: Vec<(u32, f64)> = (0..120u32)
+                .map(|i| ((i * 13) % 500, 1.0 / ((i % 17) as f64 + 1.5)))
+                .collect();
+            // Dedup keys (map collapses duplicates deterministically).
+            let mut p = p;
+            p.sort_unstable_by_key(|&(v, _)| v);
+            p.dedup_by_key(|&mut (v, _)| v);
+            let pool = Pool::new(threads);
+            assert_same(&sweep_cut_seq(&g, &p), &sweep_cut_par(&pool, &g, &p));
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_power_law_graph() {
+        let g = gen::rmat_graph500(10, 8, 7);
+        let p: Vec<(u32, f64)> = (0..200u32)
+            .map(|i| (i * 5, ((i + 1) as f64).recip()))
+            .collect();
+        let pool = Pool::new(4);
+        assert_same(&sweep_cut_seq(&g, &p), &sweep_cut_par(&pool, &g, &p));
+    }
+
+    #[test]
+    fn single_vertex_support() {
+        let g = gen::cycle(10);
+        let pool = Pool::new(2);
+        let sweep = sweep_cut_par(&pool, &g, &[(3, 1.0)]);
+        assert_eq!(sweep.order, vec![3]);
+        assert_eq!(sweep.best_size, 1);
+        assert_eq!(sweep.best_conductance, 1.0); // 2 crossing / min(2, 18)
+    }
+
+    #[test]
+    fn empty_support() {
+        let g = gen::cycle(5);
+        let pool = Pool::new(2);
+        let sweep = sweep_cut_par(&pool, &g, &[]);
+        assert_eq!(sweep.best_size, 0);
+        assert!(sweep.best_conductance.is_infinite());
+    }
+
+    #[test]
+    fn support_larger_than_half_the_graph() {
+        // Exercises the min(vol, 2m - vol) branch on the far side.
+        let g = gen::two_cliques_bridge(6);
+        let p: Vec<(u32, f64)> = (0..10u32).map(|v| (v, 0.1)).collect();
+        let pool = Pool::new(2);
+        assert_same(&sweep_cut_seq(&g, &p), &sweep_cut_par(&pool, &g, &p));
+    }
+}

@@ -1,0 +1,205 @@
+//! Text I/O for graphs: whitespace edge lists (SNAP style) and Ligra's
+//! `AdjacencyGraph` format, so inputs prepared for the paper's original
+//! C++ code can be loaded directly.
+
+use crate::csr::{Graph, GraphBuilder};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Reads a whitespace-separated edge list (`u v` per line; `#` or `%`
+/// comment lines ignored). Vertex count is `max id + 1` unless a larger
+/// `min_vertices` is given. The graph is symmetrized and cleaned.
+pub fn read_edge_list(path: &Path, min_vertices: usize) -> io::Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    let mut line = String::new();
+    let mut reader = io::BufReader::new(file);
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<u32> {
+            s.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing endpoint"))?
+                .parse::<u32>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = (max_id as usize + 1).max(min_vertices).max(1);
+    Ok(GraphBuilder::new(n).edges(edges).build())
+}
+
+/// Writes the graph as an edge list (each undirected edge once, `u < v`).
+pub fn write_edge_list(g: &Graph, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                writeln!(w, "{u} {v}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Reads Ligra's `AdjacencyGraph` text format:
+/// ```text
+/// AdjacencyGraph
+/// <n>
+/// <m_directed>
+/// <n offsets>
+/// <m_directed neighbor ids>
+/// ```
+pub fn read_adjacency_graph(path: &Path) -> io::Result<Graph> {
+    let contents = std::fs::read_to_string(path)?;
+    let mut tok = contents.split_whitespace();
+    let header = tok.next().unwrap_or("");
+    if header != "AdjacencyGraph" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected AdjacencyGraph header, got {header:?}"),
+        ));
+    }
+    let mut next_usize = |what: &str| -> io::Result<usize> {
+        tok.next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("missing {what}")))?
+            .parse::<usize>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    };
+    let n = next_usize("n")?;
+    let m = next_usize("m")?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        let o = next_usize("offset")?;
+        if o > m {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("offset {o} > m"),
+            ));
+        }
+        if let Some(&prev) = offsets.last() {
+            if o < prev {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("offsets not monotone at {i}"),
+                ));
+            }
+        }
+        offsets.push(o);
+    }
+    offsets.push(m);
+    let mut adj = Vec::with_capacity(m);
+    for _ in 0..m {
+        let v = next_usize("edge")?;
+        if v >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge target {v} >= n"),
+            ));
+        }
+        adj.push(v as u32);
+    }
+    // Round-trip through the builder to guarantee symmetry/cleanliness
+    // even for asymmetric inputs.
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for &v in &adj[offsets[u]..offsets[u + 1]] {
+            b.edge(u as u32, v);
+        }
+    }
+    Ok(b.edges([]).build())
+}
+
+/// Writes the graph in Ligra's `AdjacencyGraph` format.
+pub fn write_adjacency_graph(g: &Graph, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "AdjacencyGraph")?;
+    writeln!(w, "{}", g.num_vertices())?;
+    writeln!(w, "{}", g.total_degree())?;
+    let mut off = 0usize;
+    for v in 0..g.num_vertices() as u32 {
+        writeln!(w, "{off}")?;
+        off += g.degree(v);
+    }
+    for v in 0..g.num_vertices() as u32 {
+        for &u in g.neighbors(v) {
+            writeln!(w, "{u}")?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lgc-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = gen::rand_local(200, 4, 3);
+        let path = tmp("edges.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path, 200).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..200u32 {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn edge_list_ignores_comments_and_blank_lines() {
+        let path = tmp("comments.txt");
+        std::fs::write(&path, "# header\n\n0 1\n% also comment\n1 2\n").unwrap();
+        let g = read_edge_list(&path, 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let path = tmp("garbage.txt");
+        std::fs::write(&path, "0 x\n").unwrap();
+        assert!(read_edge_list(&path, 0).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn adjacency_graph_roundtrip() {
+        let g = gen::two_cliques_bridge(6);
+        let path = tmp("adj.txt");
+        write_adjacency_graph(&g, &path).unwrap();
+        let g2 = read_adjacency_graph(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..12u32 {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn adjacency_graph_rejects_bad_header() {
+        let path = tmp("bad.txt");
+        std::fs::write(&path, "NotAGraph\n1\n0\n0\n").unwrap();
+        assert!(read_adjacency_graph(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! Graph substrate for parallel local graph clustering.
+//!
+//! Provides the compressed-sparse-row [`Graph`] the algorithms traverse,
+//! a cleaning [`GraphBuilder`] (symmetrize, dedup, strip self-loops —
+//! the paper's §4 preprocessing), conductance/volume utilities (§2),
+//! connected components for seed selection, text I/O compatible with
+//! Ligra's `AdjacencyGraph` format, and the synthetic generator suite
+//! standing in for the paper's evaluation graphs (see `DESIGN.md` §3).
+
+mod components;
+mod csr;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use components::{connected_components, largest_component};
+pub use csr::{Graph, GraphBuilder};

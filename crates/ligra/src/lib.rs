@@ -1,0 +1,288 @@
+//! A Ligra-style frontier framework (`vertexSubset` / `vertexMap` /
+//! `edgeMap`, simplified exactly as in §2 of the paper).
+//!
+//! The defining property — the reason the paper chose Ligra over
+//! GraphLab/Pregel-style systems — is *locality*: both maps do work
+//! proportional to the size of the input [`VertexSubset`] and the sum of
+//! its vertices' degrees, never `O(|V|)`. That is what turns the diffusion
+//! algorithms' theoretical "local running time" into practice.
+//!
+//! * [`vertex_map`] applies a side-effecting function to every vertex of a
+//!   subset, in parallel over vertices.
+//! * [`edge_map`] applies an update function to every edge `(u, v)` with
+//!   `u` in the subset, in parallel over *edges* (two-level: the frontier's
+//!   edge space is flattened via a prefix sum over degrees, so one
+//!   high-degree vertex cannot serialize an iteration — the same load
+//!   balancing Ligra gets from its edge-granularity traversal).
+//!
+//! Update functions run concurrently on many edges and must synchronize
+//! their side effects (the clustering code uses the atomic sparse sets of
+//! `lgc-sparse`), mirroring the paper's "the programmer ensures parallel
+//! correctness of the functions passed to vertexMap and edgeMap by using
+//! atomic operations where necessary".
+
+use lgc_graph::Graph;
+use lgc_parallel::{scan_exclusive, Pool};
+
+/// A sparse subset of vertices (the paper's `vertexSubset`).
+///
+/// Stored as a list of vertex ids. The clustering algorithms keep
+/// frontiers sorted by id so iterations are deterministic; construction
+/// via [`VertexSubset::from_sorted`] asserts that invariant while
+/// [`VertexSubset::from_unsorted`] sorts for you.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexSubset {
+    ids: Vec<u32>,
+}
+
+impl VertexSubset {
+    /// The empty subset.
+    pub fn empty() -> Self {
+        VertexSubset { ids: Vec::new() }
+    }
+
+    /// A singleton subset (the seed vertex of a diffusion).
+    pub fn single(v: u32) -> Self {
+        VertexSubset { ids: vec![v] }
+    }
+
+    /// Wraps an already-sorted, duplicate-free id list.
+    pub fn from_sorted(ids: Vec<u32>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted and unique"
+        );
+        VertexSubset { ids }
+    }
+
+    /// Sorts and deduplicates, then wraps.
+    pub fn from_unsorted(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        VertexSubset { ids }
+    }
+
+    /// Number of vertices in the subset.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the subset is empty (the termination test of every
+    /// diffusion loop in the paper).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The vertex ids, sorted ascending.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Iterates over the vertex ids.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Sum of degrees of the subset's vertices — the paper's
+    /// `vol(frontier)`, which bounds the next iteration's work and is used
+    /// to size the scratch sparse sets.
+    pub fn volume(&self, g: &Graph) -> usize {
+        self.ids.iter().map(|&v| g.degree(v)).sum()
+    }
+}
+
+impl From<VertexSubset> for Vec<u32> {
+    fn from(s: VertexSubset) -> Vec<u32> {
+        s.ids
+    }
+}
+
+/// Applies `f` to every vertex in `frontier`, in parallel.
+/// Work `O(|frontier|)`.
+pub fn vertex_map(pool: &Pool, frontier: &VertexSubset, f: impl Fn(u32) + Sync) {
+    pool.run(frontier.len(), 256, |s, e| {
+        for &v in &frontier.ids[s..e] {
+            f(v);
+        }
+    });
+}
+
+/// Applies `f(src, dst)` to every edge `(src, dst)` with `src ∈ frontier`,
+/// in parallel over the frontier's whole edge space.
+///
+/// Work `O(|frontier| + vol(frontier))`; the prefix sum over frontier
+/// degrees flattens the edge space so chunks of ~`grain` edges are
+/// distributed dynamically regardless of degree skew.
+pub fn edge_map(pool: &Pool, g: &Graph, frontier: &VertexSubset, f: impl Fn(u32, u32) + Sync) {
+    let k = frontier.len();
+    if k == 0 {
+        return;
+    }
+    // Small frontiers (or a 1-thread pool) take the plain nested loop:
+    // below ~2 chunks of edges the flattening setup plus worker wakeup
+    // costs more than it saves.
+    if pool.num_threads() == 1 || frontier.volume(g) <= 4096 {
+        for &v in &frontier.ids {
+            for &w in g.neighbors(v) {
+                f(v, w);
+            }
+        }
+        return;
+    }
+    // Exclusive prefix sum over frontier degrees -> flattened edge offsets.
+    let degs: Vec<usize> = frontier.ids.iter().map(|&v| g.degree(v)).collect();
+    let (offsets, total_edges) = scan_exclusive(pool, &degs, 0usize, |a, b| a + b);
+    if total_edges == 0 {
+        return;
+    }
+    let ids = &frontier.ids;
+    pool.run(total_edges, 2048, |es, ee| {
+        // Locate the frontier vertex owning edge index `es`.
+        let mut vi = offsets.partition_point(|&o| o <= es) - 1;
+        let mut edge_idx = es;
+        while edge_idx < ee {
+            let v = ids[vi];
+            let nbrs = g.neighbors(v);
+            let local_start = edge_idx - offsets[vi];
+            let local_end = nbrs.len().min(local_start + (ee - edge_idx));
+            for &w in &nbrs[local_start..local_end] {
+                f(v, w);
+            }
+            edge_idx += local_end - local_start;
+            vi += 1;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgc_graph::gen;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn subset_basics() {
+        let s = VertexSubset::from_unsorted(vec![5, 1, 3, 1]);
+        assert_eq!(s.ids(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(VertexSubset::empty().is_empty());
+        assert_eq!(VertexSubset::single(7).ids(), &[7]);
+    }
+
+    #[test]
+    fn subset_volume() {
+        let g = gen::star(5); // center 0 has degree 4, leaves degree 1
+        let s = VertexSubset::from_sorted(vec![0, 1]);
+        assert_eq!(s.volume(&g), 5);
+    }
+
+    #[test]
+    fn vertex_map_touches_exactly_the_subset() {
+        let pool = Pool::new(4);
+        let n = 1000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let s = VertexSubset::from_unsorted((0..n as u32).filter(|v| v % 3 == 0).collect());
+        vertex_map(&pool, &s, |v| {
+            counts[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (v, count) in counts.iter().enumerate() {
+            let expect = usize::from(v % 3 == 0);
+            assert_eq!(count.load(Ordering::Relaxed), expect, "vertex {v}");
+        }
+    }
+
+    /// The Figure 2 semantics: edgeMap applies `f` to every edge incident
+    /// to the subset, and only those.
+    #[test]
+    fn edge_map_covers_frontier_edges_exactly_once() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let g = gen::rand_local(400, 5, 9);
+            let frontier =
+                VertexSubset::from_unsorted((0..400u32).filter(|v| v % 7 == 0).collect());
+            let hits: Vec<AtomicUsize> =
+                (0..g.total_degree()).map(|_| AtomicUsize::new(0)).collect();
+            // Identify each (src, dst) pair by its CSR position.
+            let count = AtomicUsize::new(0);
+            edge_map(&pool, &g, &frontier, |src, dst| {
+                let nbrs = g.neighbors(src);
+                let k = nbrs.partition_point(|&x| x < dst);
+                assert_eq!(nbrs[k], dst);
+                let base: usize = (0..src).map(|v| g.degree(v)).sum();
+                hits[base + k].fetch_add(1, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(
+                count.load(Ordering::Relaxed),
+                frontier.volume(&g),
+                "t={threads}"
+            );
+            // Every frontier edge hit once; non-frontier edges never.
+            let mut base = 0;
+            for v in 0..400u32 {
+                let d = g.degree(v);
+                let expect = usize::from(frontier.ids().binary_search(&v).is_ok());
+                for j in 0..d {
+                    assert_eq!(
+                        hits[base + j].load(Ordering::Relaxed),
+                        expect,
+                        "v={v} j={j}"
+                    );
+                }
+                base += d;
+            }
+        }
+    }
+
+    #[test]
+    fn edge_map_accumulation_matches_sequential() {
+        // Sum of dst ids over frontier edges — order independent.
+        let g = gen::rmat_graph500(9, 8, 4);
+        let frontier = VertexSubset::from_unsorted(
+            (0..g.num_vertices() as u32)
+                .filter(|v| v % 11 == 0)
+                .collect(),
+        );
+        let mut want = 0u64;
+        for v in frontier.iter() {
+            for &w in g.neighbors(v) {
+                want += w as u64;
+            }
+        }
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let got = AtomicU64::new(0);
+            edge_map(&pool, &g, &frontier, |_, dst| {
+                got.fetch_add(dst as u64, Ordering::Relaxed);
+            });
+            assert_eq!(got.load(Ordering::Relaxed), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn edge_map_handles_skewed_degrees() {
+        // A star: the center has degree n-1; edge-level parallelism must
+        // split its adjacency list across chunks.
+        let pool = Pool::new(4);
+        let g = gen::star(20_000);
+        let frontier = VertexSubset::single(0);
+        let count = AtomicUsize::new(0);
+        edge_map(&pool, &g, &frontier, |src, _| {
+            assert_eq!(src, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 19_999);
+    }
+
+    #[test]
+    fn edge_map_empty_frontier_or_isolated() {
+        let pool = Pool::new(2);
+        let g = lgc_graph::Graph::from_edges(4, &[(0, 1)]);
+        edge_map(&pool, &g, &VertexSubset::empty(), |_, _| panic!("no edges"));
+        // Vertices 2, 3 are isolated: zero edges to map over.
+        edge_map(&pool, &g, &VertexSubset::from_sorted(vec![2, 3]), |_, _| {
+            panic!("no edges")
+        });
+    }
+}

@@ -1,0 +1,132 @@
+//! Parallel filter (a.k.a. pack) — `O(n)` work, logarithmic depth.
+//!
+//! The paper's algorithms use filter to build the next frontier from the
+//! vertices that exceed the diffusion threshold, and inside the parallel
+//! sweep cut to extract the last `Z`-array entry of each rank run.
+
+use crate::{default_grain, scan_exclusive, Pool, UnsafeSlice};
+
+/// Returns the elements of `input` satisfying `pred`, preserving order.
+pub fn filter<T: Copy + Send + Sync>(
+    pool: &Pool,
+    input: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+) -> Vec<T> {
+    filter_map_index(pool, input.len(), |i| {
+        let x = input[i];
+        pred(&x).then_some(x)
+    })
+}
+
+/// Returns the indices `i in 0..len` for which `pred(i)` holds, in order.
+pub fn pack_indices(pool: &Pool, len: usize, pred: impl Fn(usize) -> bool + Sync) -> Vec<u32> {
+    debug_assert!(len <= u32::MAX as usize);
+    filter_map_index(pool, len, |i| pred(i).then_some(i as u32))
+}
+
+/// Generalized pack: evaluates `f(i)` for `i in 0..len` and collects the
+/// `Some` results in index order. `f` is called at most twice per index
+/// (once in the counting pass, once in the writing pass) and must be pure.
+pub fn filter_map_index<U: Send>(
+    pool: &Pool,
+    len: usize,
+    f: impl Fn(usize) -> Option<U> + Sync,
+) -> Vec<U> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = pool.num_threads();
+    if threads == 1 || len < 8192 {
+        return (0..len).filter_map(f).collect();
+    }
+    let grain = default_grain(len, threads);
+    let n_blocks = len.div_ceil(grain);
+
+    // Pass 1: count survivors per block.
+    let mut counts: Vec<usize> = vec![0; n_blocks];
+    {
+        let view = UnsafeSlice::new(&mut counts);
+        pool.run(len, grain, |s, e| {
+            let c = (s..e).filter(|&i| f(i).is_some()).count();
+            // SAFETY: one block per chunk.
+            unsafe { view.write(s / grain, c) };
+        });
+    }
+
+    // Offsets for each block's output range.
+    let (offsets, total) = scan_exclusive(pool, &counts, 0usize, |a, b| a + b);
+
+    // Pass 2: write survivors at their offsets.
+    let mut out: Vec<U> = Vec::with_capacity(total);
+    {
+        let spare = out.spare_capacity_mut();
+        let view = UnsafeSlice::new(spare);
+        pool.run(len, grain, |s, e| {
+            let mut pos = offsets[s / grain];
+            for i in s..e {
+                if let Some(v) = f(i) {
+                    // SAFETY: blocks write disjoint output ranges.
+                    unsafe { view.write(pos, std::mem::MaybeUninit::new(v)) };
+                    pos += 1;
+                }
+            }
+        });
+    }
+    // SAFETY: exactly `total` elements initialized.
+    unsafe { out.set_len(total) };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_matches_sequential() {
+        let pool = Pool::new(4);
+        let data: Vec<u32> = (0..100_000).collect();
+        let got = filter(&pool, &data, |&x| x % 7 == 0);
+        let want: Vec<u32> = data.iter().copied().filter(|&x| x % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_indices_matches() {
+        let pool = Pool::new(3);
+        let got = pack_indices(&pool, 50_000, |i| i % 13 == 5);
+        let want: Vec<u32> = (0..50_000u32).filter(|&i| i % 13 == 5).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_and_none() {
+        let pool = Pool::new(2);
+        let data: Vec<u8> = vec![1; 20_000];
+        assert_eq!(filter(&pool, &data, |_| true).len(), 20_000);
+        assert!(filter(&pool, &data, |_| false).is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = Pool::new(2);
+        assert!(filter::<u8>(&pool, &[], |_| true).is_empty());
+        assert!(pack_indices(&pool, 0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn filter_map_transforms() {
+        let pool = Pool::new(4);
+        let got = filter_map_index(&pool, 30_000, |i| (i % 2 == 0).then_some(i * 10));
+        let want: Vec<usize> = (0..30_000).filter(|i| i % 2 == 0).map(|i| i * 10).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let pool = Pool::new(4);
+        let data: Vec<u32> = (0..65_536).rev().collect();
+        let got = filter(&pool, &data, |&x| x % 3 == 0);
+        let want: Vec<u32> = data.iter().copied().filter(|&x| x % 3 == 0).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,164 @@
+//! Stable parallel integer sort (counting sort for bounded keys).
+//!
+//! Theorem 1's parallel sweep cut integer-sorts the `Z` array by vertex
+//! rank, whose maximum value is `N + 1`, and Theorem 5's randomized
+//! heat-kernel PageRank integer-sorts walk destinations after remapping
+//! them into `[0, N]`. Both are instances of sorting `n` items whose keys
+//! are bounded by `O(n)`, which a counting sort handles in `O(n + K)` work.
+//!
+//! The parallel version builds per-block histograms, turns them into write
+//! cursors with one exclusive prefix sum over the `(key, block)`-major
+//! flattened counts, and scatters — the textbook stable parallel counting
+//! sort.
+
+use crate::{scan_exclusive, Pool, UnsafeSlice};
+
+/// Stably sorts `input` by `key(x) ∈ [0, num_keys)`, returning a new `Vec`.
+///
+/// `key` must be pure (it is evaluated twice per element) and must return
+/// values strictly below `num_keys`.
+///
+/// ```
+/// use lgc_parallel::{Pool, counting_sort_by_key};
+/// let pool = Pool::new(2);
+/// let out = counting_sort_by_key(&pool, &[(2, 'a'), (0, 'b'), (2, 'c')], |&(k, _)| k, 3);
+/// assert_eq!(out, vec![(0, 'b'), (2, 'a'), (2, 'c')]);
+/// ```
+pub fn counting_sort_by_key<T: Copy + Send + Sync>(
+    pool: &Pool,
+    input: &[T],
+    key: impl Fn(&T) -> usize + Sync,
+    num_keys: usize,
+) -> Vec<T> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = pool.num_threads();
+    if threads == 1 || n < 8192 {
+        return seq_counting_sort(input, key, num_keys);
+    }
+
+    let n_blocks = (threads * 2).min(n);
+    let block_len = n.div_ceil(n_blocks);
+
+    // Per-block histograms, flattened (key, block)-major so that a single
+    // exclusive scan yields stable write offsets directly.
+    let mut counts: Vec<usize> = vec![0; num_keys * n_blocks];
+    {
+        let view = UnsafeSlice::new(&mut counts);
+        pool.for_each_index(n_blocks, 1, |b| {
+            let s = b * block_len;
+            let e = ((b + 1) * block_len).min(n);
+            for x in &input[s..e] {
+                let k = key(x);
+                debug_assert!(k < num_keys, "key {k} out of range {num_keys}");
+                // SAFETY: slot (k, b) is owned by block b this phase.
+                unsafe {
+                    let idx = k * n_blocks + b;
+                    view.write(idx, view.read(idx) + 1);
+                }
+            }
+        });
+    }
+
+    let (mut cursors, total) = scan_exclusive(pool, &counts, 0usize, |a, b| a + b);
+    debug_assert_eq!(total, n);
+
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    {
+        let spare = out.spare_capacity_mut();
+        let out_view = UnsafeSlice::new(spare);
+        let cur_view = UnsafeSlice::new(&mut cursors);
+        pool.for_each_index(n_blocks, 1, |b| {
+            let s = b * block_len;
+            let e = ((b + 1) * block_len).min(n);
+            for x in &input[s..e] {
+                let k = key(x);
+                // SAFETY: cursor slot (k, b) is owned by block b; each
+                // output position is claimed exactly once.
+                unsafe {
+                    let idx = k * n_blocks + b;
+                    let pos = cur_view.read(idx);
+                    cur_view.write(idx, pos + 1);
+                    out_view.write(pos, std::mem::MaybeUninit::new(*x));
+                }
+            }
+        });
+    }
+    // SAFETY: all n positions written (cursor ranges partition 0..n).
+    unsafe { out.set_len(n) };
+    out
+}
+
+fn seq_counting_sort<T: Copy>(input: &[T], key: impl Fn(&T) -> usize, num_keys: usize) -> Vec<T> {
+    let mut counts = vec![0usize; num_keys + 1];
+    for x in input {
+        let k = key(x);
+        debug_assert!(k < num_keys, "key {k} out of range {num_keys}");
+        counts[k + 1] += 1;
+    }
+    for i in 0..num_keys {
+        counts[i + 1] += counts[i];
+    }
+    let mut out: Vec<T> = Vec::with_capacity(input.len());
+    // SAFETY: every slot below is written exactly once before set_len.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(input.len())
+    };
+    for x in input {
+        let k = key(x);
+        out[counts[k]] = *x;
+        counts[k] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(n: usize, num_keys: usize, threads: usize) {
+        let pool = Pool::new(threads);
+        let data: Vec<(usize, usize)> = (0..n)
+            .map(|i| ((i.wrapping_mul(2654435761)) % num_keys, i))
+            .collect();
+        let got = counting_sort_by_key(&pool, &data, |&(k, _)| k, num_keys);
+        let mut want = data.clone();
+        want.sort_by_key(|&(k, _)| k); // std stable sort as the reference
+        assert_eq!(got, want, "n={n} K={num_keys} t={threads}");
+    }
+
+    #[test]
+    fn parallel_matches_stable_reference() {
+        check(100_000, 1000, 4);
+        check(50_000, 7, 3);
+        check(20_000, 20_001, 2);
+    }
+
+    #[test]
+    fn sequential_path() {
+        check(100, 10, 1);
+        check(5000, 50, 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pool = Pool::new(2);
+        let empty: Vec<u32> = vec![];
+        assert!(counting_sort_by_key(&pool, &empty, |&x| x as usize, 5).is_empty());
+        assert_eq!(
+            counting_sort_by_key(&pool, &[3u32], |&x| x as usize, 5),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn single_key_preserves_order() {
+        let pool = Pool::new(4);
+        let data: Vec<(usize, usize)> = (0..30_000).map(|i| (0, i)).collect();
+        let got = counting_sort_by_key(&pool, &data, |&(k, _)| k, 1);
+        assert_eq!(got, data);
+    }
+}

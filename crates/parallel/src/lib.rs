@@ -1,0 +1,53 @@
+//! Work-depth parallel primitives for local graph clustering.
+//!
+//! The paper ("Parallel Local Graph Clustering", Shun et al., VLDB 2016)
+//! builds its algorithms out of a small set of classic parallel primitives
+//! from the Problem Based Benchmark Suite: **prefix sums**, **filter**,
+//! **comparison sorting**, and **integer sorting**, executed on a Cilk-style
+//! fork-join runtime. This crate reproduces that substrate:
+//!
+//! * [`Pool`] — a fixed-size thread pool executing dynamically-chunked
+//!   parallel loops ([`Pool::run`], [`Pool::for_each_index`]). A pool with
+//!   one thread degenerates to plain sequential execution with zero
+//!   synchronization, which is how the `T1` columns of the paper's tables
+//!   are measured.
+//! * [`scan_inclusive`] / [`scan_exclusive`] — prefix sums over an arbitrary
+//!   associative operator (the paper needs `+` and `min`).
+//! * [`filter`] / [`pack_indices`] — stable parallel filtering.
+//! * [`merge_sort_by`] — a stable parallel comparison sort using co-ranked
+//!   parallel merges (`O(N log N)` work, polylog depth).
+//! * [`counting_sort_by_key`] — a stable parallel integer sort for bounded
+//!   keys (`O(N + K)` work), used by the parallel sweep cut (Theorem 1) and
+//!   the randomized heat-kernel aggregation (Theorem 5).
+//! * [`AtomicF64`] — the atomic `fetchAdd` on doubles that the paper's
+//!   `edgeMap` update functions rely on.
+//!
+//! All primitives fall back to tight sequential loops below a size threshold
+//! or when the pool has a single thread, so they are safe to use at any
+//! problem size.
+
+mod atomic;
+mod filter;
+mod intsort;
+mod map;
+mod pool;
+mod scan;
+mod slice;
+mod sort;
+
+pub use atomic::{atomic_f64_fetch_add, AtomicF64};
+pub use filter::{filter, filter_map_index, pack_indices};
+pub use intsort::counting_sort_by_key;
+pub use map::{fill_with_index, map, map_index, max_by, reduce, sum_f64, sum_u64};
+pub use pool::Pool;
+pub use scan::{scan_exclusive, scan_inclusive};
+pub use slice::UnsafeSlice;
+pub use sort::merge_sort_by;
+
+/// Picks a chunk grain so that each thread receives several chunks
+/// (for dynamic load balancing) while chunks stay large enough to
+/// amortize scheduling overhead.
+pub fn default_grain(len: usize, threads: usize) -> usize {
+    let target_chunks = threads.max(1) * 8;
+    (len / target_chunks).max(1024)
+}

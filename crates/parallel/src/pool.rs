@@ -1,0 +1,473 @@
+//! A fixed-size fork-join thread pool with dynamically-chunked parallel loops.
+//!
+//! The design mirrors what a Cilk-style runtime provides to the paper's
+//! algorithms: a caller submits one data-parallel loop at a time, worker
+//! threads and the caller itself grab chunks of the iteration space off a
+//! shared atomic counter, and the call returns only when every chunk has
+//! executed. Because the caller blocks until completion, the loop body may
+//! borrow from the caller's stack even though the workers are long-lived
+//! (the same argument that makes scoped threads sound).
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Set while the current thread is executing chunks of a pool job.
+    /// Nested `run` calls detect this and degrade to sequential execution,
+    /// which keeps the API safe to use from inside loop bodies.
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A type-erased parallel loop: `func(ctx, start, end)` runs one chunk.
+struct Job {
+    func: unsafe fn(*const (), usize, usize),
+    ctx: *const (),
+    len: usize,
+    grain: usize,
+    n_chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Number of chunks fully executed.
+    completed: AtomicUsize,
+    /// Number of worker threads currently holding a reference to this job.
+    attached: AtomicUsize,
+    /// Set when any chunk's body panicked; the panic is caught on the
+    /// executing thread (so workers survive and bookkeeping completes)
+    /// and re-raised on the calling thread once the loop has drained.
+    panicked: AtomicBool,
+}
+
+// SAFETY: `ctx` always points at a closure that is `Sync` (enforced by the
+// bound on `Pool::run`), and the remaining fields are atomics / plain data.
+unsafe impl Sync for Job {}
+
+struct Slot {
+    job: Option<*const Job>,
+    epoch: u64,
+}
+
+// SAFETY: the raw pointer is only dereferenced while the publishing caller
+// is blocked inside `Pool::run`, so the pointee is alive; see `run`.
+unsafe impl Send for Slot {}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    job_cv: Condvar,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Lock-free mirror of `Slot::epoch`, bumped on publication so idle
+    /// workers can detect new jobs by spinning briefly before parking on
+    /// the condvar. Local algorithms issue thousands of small
+    /// back-to-back loops per run; keeping workers hot across them is
+    /// worth far more than the microseconds of spin.
+    pub_epoch: std::sync::atomic::AtomicU64,
+}
+
+/// How long an idle worker spins waiting for the next job before parking.
+const IDLE_SPINS: u32 = 100_000;
+
+/// A fixed-size thread pool for data-parallel loops.
+///
+/// `Pool::new(t)` makes a pool that executes loops on `t` threads total:
+/// `t - 1` spawned workers plus the calling thread. `Pool::new(1)` spawns
+/// nothing and runs every loop inline — this is the configuration used for
+/// the single-threaded (`T1`) measurements in the paper's tables.
+///
+/// ```
+/// use lgc_parallel::Pool;
+/// let pool = Pool::new(2);
+/// let mut out = vec![0u64; 1000];
+/// // Parallel loops borrow local state freely:
+/// let ptr = lgc_parallel::UnsafeSlice::new(&mut out);
+/// pool.for_each_index(1000, 64, |i| unsafe { ptr.write(i, i as u64 * 2) });
+/// assert_eq!(out[501], 1002);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes concurrent `run` calls from different caller threads.
+    run_lock: Mutex<()>,
+}
+
+impl Pool {
+    /// Creates a pool that runs loops across `threads` threads
+    /// (including the caller). `threads` is clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                job: None,
+                epoch: 0,
+            }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            pub_epoch: std::sync::atomic::AtomicU64::new(0),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lgc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// A single-threaded pool (no workers, zero synchronization overhead).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`).
+    pub fn with_default_threads() -> Self {
+        let t = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(t)
+    }
+
+    /// Total number of threads participating in loops (workers + caller).
+    pub fn num_threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `f(start, end)` over disjoint chunks covering `0..len`.
+    ///
+    /// Chunks are at most `grain` long and are claimed dynamically, so
+    /// irregular per-chunk costs load-balance automatically. `f` runs on
+    /// multiple threads concurrently and must therefore be `Sync`; it may
+    /// freely borrow from the caller because `run` does not return until
+    /// every chunk has finished executing.
+    ///
+    /// Calling `run` from inside a loop body executes the nested loop
+    /// sequentially on the current thread (documented degradation rather
+    /// than deadlock).
+    pub fn run<F>(&self, len: usize, grain: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        if self.workers.is_empty() || len <= grain || IN_JOB.with(Cell::get) {
+            f(0, len);
+            return;
+        }
+
+        unsafe fn call<F: Fn(usize, usize) + Sync>(ctx: *const (), s: usize, e: usize) {
+            // SAFETY: `ctx` was produced from `&f` below and `f` outlives
+            // the job because the caller blocks until completion.
+            unsafe { (*(ctx as *const F))(s, e) }
+        }
+
+        let _serial = self.run_lock.lock();
+        let job = Job {
+            func: call::<F>,
+            ctx: (&raw const f).cast(),
+            len,
+            grain,
+            n_chunks: len.div_ceil(grain),
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            attached: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        };
+
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.job = Some(&raw const job);
+            slot.epoch = slot.epoch.wrapping_add(1);
+            self.shared.pub_epoch.store(slot.epoch, Ordering::Release);
+            self.shared.job_cv.notify_all();
+        }
+
+        // The caller participates in its own loop.
+        IN_JOB.with(|c| c.set(true));
+        work_on(&job);
+        IN_JOB.with(|c| c.set(false));
+
+        // Retract the job and wait until no worker still references it and
+        // every chunk has completed. Only then may `job` (and `f`) die.
+        // Spin briefly first: the tail chunk usually finishes within
+        // microseconds of the caller running out of work.
+        let finished = |job: &Job| {
+            job.attached.load(Ordering::Acquire) == 0
+                && job.completed.load(Ordering::Acquire) == job.n_chunks
+        };
+        let mut slot = self.shared.slot.lock();
+        slot.job = None;
+        drop(slot);
+        let mut done = false;
+        for _ in 0..IDLE_SPINS {
+            if finished(&job) {
+                done = true;
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        if !done {
+            let mut slot = self.shared.slot.lock();
+            while !finished(&job) {
+                self.shared.done_cv.wait(&mut slot);
+            }
+        }
+        // Re-raise any panic caught inside the loop body, now that every
+        // chunk is accounted for and the pool is back in a clean state.
+        assert!(
+            !job.panicked.load(Ordering::Acquire),
+            "a parallel loop body panicked (original message was reported on its thread)"
+        );
+    }
+
+    /// Runs `f(i)` for every `i in 0..len`, in parallel chunks of `grain`.
+    pub fn for_each_index<F>(&self, len: usize, grain: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run(len, grain, |s, e| {
+            for i in s..e {
+                f(i);
+            }
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _slot = self.shared.slot.lock();
+            self.shared.job_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Claims and executes chunks until the job's iteration space is exhausted.
+fn work_on(job: &Job) {
+    loop {
+        let c = job.next.fetch_add(1, Ordering::Relaxed);
+        if c >= job.n_chunks {
+            break;
+        }
+        let start = c * job.grain;
+        let end = (start + job.grain).min(job.len);
+        // Catch panics so a faulty loop body cannot kill a worker thread
+        // or leave the caller waiting forever; the chunk still counts as
+        // completed and the caller re-raises after the job drains.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: per-job invariant — `func`/`ctx` are valid while
+            // any thread is attached or the caller is inside `run`.
+            unsafe { (job.func)(job.ctx, start, end) };
+        }));
+        if result.is_err() {
+            // Remaining chunks still execute (they are independent); the
+            // caller re-raises once every chunk has been accounted for,
+            // which keeps the completion bookkeeping trivially correct.
+            job.panicked.store(true, Ordering::Release);
+        }
+        job.completed.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        // Spin-then-park: briefly poll the lock-free epoch mirror so that
+        // back-to-back loops reuse a hot worker without a futex round-trip.
+        let mut spins = 0u32;
+        while shared.pub_epoch.load(Ordering::Acquire) == last_epoch
+            && !shared.shutdown.load(Ordering::Acquire)
+            && spins < IDLE_SPINS
+        {
+            spins += 1;
+            std::hint::spin_loop();
+        }
+        let job_ptr: *const Job;
+        {
+            let mut slot = shared.slot.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match slot.job {
+                    Some(p) if slot.epoch != last_epoch => {
+                        last_epoch = slot.epoch;
+                        // Attach under the lock: the publishing caller
+                        // retracts the job under the same lock afterwards,
+                        // so it is guaranteed to observe this attachment.
+                        // SAFETY: job pointer is valid while published.
+                        unsafe { (*p).attached.fetch_add(1, Ordering::AcqRel) };
+                        job_ptr = p;
+                        break;
+                    }
+                    _ => {
+                        // The job we spun towards may already be retracted;
+                        // remember its epoch so the spin loop doesn't treat
+                        // it as forever-new.
+                        last_epoch = slot.epoch;
+                        shared.job_cv.wait(&mut slot);
+                    }
+                }
+            }
+        }
+        // SAFETY: we are attached, so the caller cannot free the job yet.
+        let job = unsafe { &*job_ptr };
+        IN_JOB.with(|c| c.set(true));
+        work_on(job);
+        IN_JOB.with(|c| c.set(false));
+        job.attached.fetch_sub(1, Ordering::AcqRel);
+        // Wake the caller (it re-checks `attached`/`completed`). Locking the
+        // mutex around the notify prevents a missed wakeup between the
+        // caller's condition check and its `wait`.
+        let _slot = shared.slot.lock();
+        shared.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = Pool::sequential();
+        assert_eq!(pool.num_threads(), 1);
+        let hits = AtomicU64::new(0);
+        pool.run(10, 3, |s, e| {
+            hits.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = Pool::new(4);
+        let n = 100_000;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.for_each_index(n, 1000, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sums_match_sequential() {
+        let pool = Pool::new(3);
+        let data: Vec<u64> = (0..1_000_000u64).collect();
+        let total = AtomicU64::new(0);
+        pool.run(data.len(), 4096, |s, e| {
+            let local: u64 = data[s..e].iter().sum();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1_000_000u64 * 999_999 / 2);
+    }
+
+    #[test]
+    fn nested_run_degrades_to_sequential() {
+        let pool = Pool::new(2);
+        let outer = AtomicU64::new(0);
+        pool.run(4, 1, |s, e| {
+            // Nested call must not deadlock.
+            pool.run(8, 2, |s2, e2| {
+                outer.fetch_add((e2 - s2) as u64, Ordering::Relaxed);
+            });
+            outer.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4 * 8 + 4);
+    }
+
+    #[test]
+    fn many_small_jobs_back_to_back() {
+        let pool = Pool::new(4);
+        let total = AtomicU64::new(0);
+        for _ in 0..2000 {
+            pool.run(64, 4, |s, e| {
+                total.fetch_add((e - s) as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2000 * 64);
+    }
+
+    #[test]
+    fn zero_len_is_noop() {
+        let pool = Pool::new(2);
+        pool.run(0, 16, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn pool_is_reusable_after_drop_of_another_pool() {
+        let p1 = Pool::new(2);
+        drop(p1);
+        let p2 = Pool::new(2);
+        let total = AtomicU64::new(0);
+        p2.run(100, 10, |s, e| {
+            total.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panic_in_loop_body_propagates_and_pool_survives() {
+        let pool = Pool::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(10_000, 16, |s, _| {
+                if s == 4096 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "the panic must reach the caller");
+        // The pool must still work after a panicking job.
+        let total = AtomicU64::new(0);
+        pool.run(1000, 16, |s, e| {
+            total.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn panic_on_single_thread_pool_propagates() {
+        let pool = Pool::sequential();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(10, 1, |_, _| panic!("inline"));
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn run_from_multiple_caller_threads_is_serialized() {
+        let pool = std::sync::Arc::new(Pool::new(3));
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            let total = std::sync::Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    pool.run(1000, 64, |s, e| {
+                        total.fetch_add((e - s) as u64, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 100 * 1000);
+    }
+}

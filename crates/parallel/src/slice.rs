@@ -1,0 +1,110 @@
+//! A shared-write view over a slice for disjoint parallel writes.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A `Sync` wrapper over `&mut [T]` allowing concurrent writes to
+/// *disjoint* indices from multiple threads.
+///
+/// Parallel primitives frequently fill an output buffer where each index is
+/// written by exactly one thread (maps, scatter phases of sorts, pack).
+/// Rust's borrow rules cannot express that disjointness, so this type
+/// centralizes the one `unsafe` idiom they all need.
+///
+/// # Safety contract
+///
+/// [`UnsafeSlice::write`] is `unsafe`: callers must guarantee that no index
+/// is written by two threads in the same parallel phase and that no thread
+/// reads an index while another writes it. All uses inside this workspace
+/// satisfy the stronger "each index written exactly once per phase"
+/// discipline.
+pub struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a UnsafeCell<[T]>>,
+}
+
+// SAFETY: shared access is only used for disjoint writes per the contract.
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        UnsafeSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The base pointer of the underlying slice.
+    #[inline]
+    pub(crate) fn as_ptr(&self) -> *mut T {
+        self.ptr
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and no other thread may concurrently read or
+    /// write index `i` during this parallel phase.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        // SAFETY: bounds guaranteed by caller; disjointness per contract.
+        unsafe { self.ptr.add(i).write(value) };
+    }
+
+    /// Reads the value at `i` (requires `T: Copy`).
+    ///
+    /// # Safety
+    /// `i` must be in bounds and no other thread may concurrently write
+    /// index `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        // SAFETY: bounds guaranteed by caller; no concurrent writer.
+        unsafe { *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pool;
+
+    #[test]
+    fn parallel_disjoint_writes() {
+        let pool = Pool::new(4);
+        let mut out = vec![0usize; 10_000];
+        let view = UnsafeSlice::new(&mut out);
+        pool.for_each_index(10_000, 128, |i| unsafe { view.write(i, i * 3) });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v = [1, 2, 3];
+        let s = UnsafeSlice::new(&mut v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut e: [i32; 0] = [];
+        assert!(UnsafeSlice::new(&mut e).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests: every parallel primitive must agree with its
+//! obvious sequential reference on arbitrary inputs and thread counts.
+
+use lgc_parallel::{
+    counting_sort_by_key, filter, merge_sort_by, pack_indices, reduce, scan_exclusive,
+    scan_inclusive, Pool,
+};
+use proptest::prelude::*;
+
+fn pools() -> impl Strategy<Value = usize> {
+    1usize..=4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_inclusive_matches_fold(data in prop::collection::vec(-1000i64..1000, 0..20_000), t in pools()) {
+        let pool = Pool::new(t);
+        let got = scan_inclusive(&pool, &data, 0, |a, b| a + b);
+        let mut acc = 0;
+        let want: Vec<i64> = data.iter().map(|&x| { acc += x; acc }).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_exclusive_total_is_sum(data in prop::collection::vec(0u64..500, 0..20_000), t in pools()) {
+        let pool = Pool::new(t);
+        let (out, total) = scan_exclusive(&pool, &data, 0, |a, b| a + b);
+        prop_assert_eq!(total, data.iter().sum::<u64>());
+        prop_assert_eq!(out.len(), data.len());
+        for (i, &o) in out.iter().enumerate() {
+            prop_assert_eq!(o, data[..i].iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn filter_matches_iterator(data in prop::collection::vec(any::<u32>(), 0..20_000), m in 1u32..10, t in pools()) {
+        let pool = Pool::new(t);
+        let got = filter(&pool, &data, |&x| x % m == 0);
+        let want: Vec<u32> = data.iter().copied().filter(|&x| x % m == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_indices_matches(len in 0usize..20_000, m in 1usize..7, t in pools()) {
+        let pool = Pool::new(t);
+        let got = pack_indices(&pool, len, |i| i % m == 0);
+        let want: Vec<u32> = (0..len as u32).filter(|&i| (i as usize).is_multiple_of(m)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_sort_is_stable_sort(data in prop::collection::vec(0u16..128, 0..30_000), t in pools()) {
+        let pool = Pool::new(t);
+        let mut tagged: Vec<(u16, usize)> = data.iter().copied().zip(0..).collect();
+        let mut want = tagged.clone();
+        want.sort_by_key(|a| a.0); // std sort is stable
+        merge_sort_by(&pool, &mut tagged, |a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(tagged, want);
+    }
+
+    #[test]
+    fn counting_sort_is_stable_sort(data in prop::collection::vec(0usize..97, 0..30_000), t in pools()) {
+        let pool = Pool::new(t);
+        let tagged: Vec<(usize, usize)> = data.iter().copied().zip(0..).collect();
+        let got = counting_sort_by_key(&pool, &tagged, |&(k, _)| k, 97);
+        let mut want = tagged.clone();
+        want.sort_by_key(|a| a.0);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_min_matches(data in prop::collection::vec(any::<i64>(), 0..20_000), t in pools()) {
+        let pool = Pool::new(t);
+        let got = reduce(&pool, &data, i64::MAX, |a, b| a.min(b));
+        let want = data.iter().copied().fold(i64::MAX, |a, b| a.min(b));
+        prop_assert_eq!(got, want);
+    }
+}

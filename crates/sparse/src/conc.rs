@@ -1,0 +1,412 @@
+//! Phase-concurrent lock-free sparse sets (the paper's reference [42]).
+//!
+//! Linear-probing tables whose key slots are claimed by compare-and-swap.
+//! `f64` values accumulate with the atomic fetch-add from `lgc-parallel`,
+//! so concurrent `edgeMap` updates to the same neighbor never lose mass —
+//! the property Theorem 3's work bound relies on.
+
+use crate::hash::hash_u32;
+use crate::EMPTY;
+use lgc_parallel::{atomic_f64_fetch_add, filter_map_index, Pool};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// A concurrent sparse map from vertex id to `f64` mass (`⊥ = 0.0`).
+///
+/// See the crate docs for the phase-concurrency contract. Capacity is
+/// fixed while a parallel phase is running; the clustering algorithms
+/// size each table from the known per-iteration bound
+/// `|frontier| + vol(frontier)` before launching the phase.
+pub struct ConcurrentSparseVec {
+    keys: Box<[AtomicU32]>,
+    vals: Box<[AtomicU64]>,
+    occupied: AtomicUsize,
+    mask: usize,
+}
+
+impl ConcurrentSparseVec {
+    /// An empty table able to hold at least `n` keys without exceeding a
+    /// 50% load factor.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        ConcurrentSparseVec {
+            keys: (0..cap).map(|_| AtomicU32::new(EMPTY)).collect(),
+            vals: (0..cap).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+            occupied: AtomicUsize::new(0),
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct keys present.
+    pub fn len(&self) -> usize {
+        self.occupied.load(Ordering::Acquire)
+    }
+
+    /// Whether no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slots (twice the supported key count).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Finds the slot holding `key`, or claims an empty one for it.
+    /// Lock-free: at most `capacity` probes (panics if the table is full,
+    /// which sized-by-bound callers never trigger).
+    #[inline]
+    fn claim_slot(&self, key: u32) -> usize {
+        debug_assert!(key != EMPTY, "key u32::MAX is reserved");
+        let mut i = (hash_u32(key) as usize) & self.mask;
+        let mut probes = 0usize;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                return i;
+            }
+            if cur == EMPTY {
+                match self.keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        self.occupied.fetch_add(1, Ordering::AcqRel);
+                        return i;
+                    }
+                    Err(actual) if actual == key => return i,
+                    Err(_) => { /* lost race to another key; keep probing */ }
+                }
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+            assert!(
+                probes <= self.mask,
+                "ConcurrentSparseVec overflow: capacity {} exhausted",
+                self.capacity()
+            );
+        }
+    }
+
+    /// Atomically adds `delta` to the mass at `key`, inserting if absent.
+    /// Safe to call from many threads concurrently (write phase).
+    #[inline]
+    pub fn add(&self, key: u32, delta: f64) {
+        let i = self.claim_slot(key);
+        atomic_f64_fetch_add(&self.vals[i], delta);
+    }
+
+    /// Overwrites the value at `key`, inserting if absent (write phase).
+    /// If several threads `set` the same key concurrently, one wins.
+    #[inline]
+    pub fn set(&self, key: u32, value: f64) {
+        let i = self.claim_slot(key);
+        self.vals[i].store(value.to_bits(), Ordering::Release);
+    }
+
+    /// Reads the mass at `key` (`⊥ = 0.0` if absent). Read phase.
+    #[inline]
+    pub fn get(&self, key: u32) -> f64 {
+        let mut i = (hash_u32(key) as usize) & self.mask;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                return f64::from_bits(self.vals[i].load(Ordering::Acquire));
+            }
+            if cur == EMPTY {
+                return 0.0;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether `key` is present (read phase).
+    pub fn contains(&self, key: u32) -> bool {
+        let mut i = (hash_u32(key) as usize) & self.mask;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                return true;
+            }
+            if cur == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Packs the occupied slots into `(key, value)` pairs in parallel
+    /// (slot order — sort by key for a deterministic order). Read phase.
+    pub fn entries(&self, pool: &Pool) -> Vec<(u32, f64)> {
+        filter_map_index(pool, self.capacity(), |i| {
+            let k = self.keys[i].load(Ordering::Acquire);
+            (k != EMPTY).then(|| (k, f64::from_bits(self.vals[i].load(Ordering::Acquire))))
+        })
+    }
+
+    /// Packs the occupied slots sorted by key (deterministic). Read phase.
+    pub fn entries_sorted(&self, pool: &Pool) -> Vec<(u32, f64)> {
+        let mut e = self.entries(pool);
+        lgc_parallel::merge_sort_by(pool, &mut e, |a, b| a.0.cmp(&b.0));
+        e
+    }
+
+    /// Sum of all stored values (read phase).
+    pub fn l1_norm(&self, pool: &Pool) -> f64 {
+        let vals = filter_map_index(pool, self.capacity(), |i| {
+            (self.keys[i].load(Ordering::Acquire) != EMPTY)
+                .then(|| f64::from_bits(self.vals[i].load(Ordering::Acquire)))
+        });
+        vals.iter().sum()
+    }
+
+    /// Empties the table, reallocating only if the current capacity cannot
+    /// hold `n` keys. Sequential point between phases.
+    pub fn reset(&mut self, pool: &Pool, n: usize) {
+        let needed = (n.max(4) * 2).next_power_of_two();
+        if needed > self.capacity() {
+            *self = ConcurrentSparseVec::with_capacity(n);
+            return;
+        }
+        let keys = &self.keys;
+        let vals = &self.vals;
+        pool.run(self.capacity(), 1 << 14, |s, e| {
+            for i in s..e {
+                keys[i].store(EMPTY, Ordering::Relaxed);
+                vals[i].store(0f64.to_bits(), Ordering::Relaxed);
+            }
+        });
+        self.occupied.store(0, Ordering::Release);
+    }
+
+    /// Grows the table to hold at least `n` keys, preserving entries.
+    /// Sequential point between phases.
+    pub fn reserve_rehash(&mut self, pool: &Pool, n: usize) {
+        let needed = (n.max(4) * 2).next_power_of_two();
+        if needed <= self.capacity() {
+            return;
+        }
+        let entries = self.entries(pool);
+        let bigger = ConcurrentSparseVec::with_capacity(n);
+        pool.run(entries.len(), 1 << 12, |s, e| {
+            for &(k, v) in &entries[s..e] {
+                bigger.add(k, v);
+            }
+        });
+        *self = bigger;
+    }
+}
+
+/// A concurrent insert-once map from vertex id to a `u32` payload, used by
+/// the parallel sweep cut to store each vertex's *rank* in the sorted
+/// order (Theorem 1) and by rand-HK-PR to compact walk destinations.
+pub struct ConcurrentRankMap {
+    keys: Box<[AtomicU32]>,
+    vals: Box<[AtomicU32]>,
+    mask: usize,
+}
+
+impl ConcurrentRankMap {
+    /// An empty table able to hold at least `n` keys.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        ConcurrentRankMap {
+            keys: (0..cap).map(|_| AtomicU32::new(EMPTY)).collect(),
+            vals: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Inserts `key → value`. Each key should be inserted by one thread
+    /// (ranks are unique); re-insertion overwrites. Write phase.
+    #[inline]
+    pub fn insert(&self, key: u32, value: u32) {
+        debug_assert!(key != EMPTY, "key u32::MAX is reserved");
+        let mut i = (hash_u32(key) as usize) & self.mask;
+        let mut probes = 0usize;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                self.vals[i].store(value, Ordering::Release);
+                return;
+            }
+            if cur == EMPTY
+                && match self.keys[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => true,
+                    Err(actual) => actual == key,
+                }
+            {
+                self.vals[i].store(value, Ordering::Release);
+                return;
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+            assert!(probes <= self.mask, "ConcurrentRankMap overflow");
+        }
+    }
+
+    /// Packs the distinct keys present, in parallel (slot order).
+    /// Read phase.
+    pub fn keys(&self, pool: &Pool) -> Vec<u32> {
+        filter_map_index(pool, self.mask + 1, |i| {
+            let k = self.keys[i].load(Ordering::Acquire);
+            (k != EMPTY).then_some(k)
+        })
+    }
+
+    /// Looks up the payload for `key`. Read phase.
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        let mut i = (hash_u32(key) as usize) & self.mask;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                return Some(self.vals[i].load(Ordering::Acquire));
+            }
+            if cur == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_then_get() {
+        let t = ConcurrentSparseVec::with_capacity(16);
+        t.add(3, 1.25);
+        t.add(3, 0.25);
+        t.add(100, 2.0);
+        assert_eq!(t.get(3), 1.5);
+        assert_eq!(t.get(100), 2.0);
+        assert_eq!(t.get(7), 0.0);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(3));
+        assert!(!t.contains(7));
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_exact() {
+        // Many threads hammer a few keys with dyadic increments: the final
+        // per-key totals must be exact (no lost updates).
+        let pool = Pool::new(4);
+        let t = ConcurrentSparseVec::with_capacity(64);
+        pool.for_each_index(40_000, 64, |i| {
+            t.add((i % 10) as u32, 0.5);
+        });
+        for k in 0..10u32 {
+            assert_eq!(t.get(k), 2000.0, "key {k}");
+        }
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn concurrent_distinct_inserts_all_present() {
+        let pool = Pool::new(4);
+        let n = 50_000;
+        let t = ConcurrentSparseVec::with_capacity(n);
+        pool.for_each_index(n, 512, |i| {
+            t.add(i as u32, i as f64);
+        });
+        assert_eq!(t.len(), n);
+        let mut entries = t.entries(&pool);
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(entries.len(), n);
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            assert_eq!(k, i as u32);
+            assert_eq!(v, i as f64);
+        }
+    }
+
+    #[test]
+    fn entries_sorted_deterministic() {
+        let pool = Pool::new(2);
+        let t = ConcurrentSparseVec::with_capacity(8);
+        for k in [9u32, 2, 5] {
+            t.add(k, k as f64);
+        }
+        assert_eq!(t.entries_sorted(&pool), vec![(2, 2.0), (5, 5.0), (9, 9.0)]);
+    }
+
+    #[test]
+    fn reset_clears_and_reuses_allocation() {
+        let pool = Pool::new(2);
+        let mut t = ConcurrentSparseVec::with_capacity(1000);
+        let cap = t.capacity();
+        for k in 0..500u32 {
+            t.add(k, 1.0);
+        }
+        t.reset(&pool, 800);
+        assert_eq!(t.capacity(), cap, "no realloc needed");
+        assert!(t.is_empty());
+        assert_eq!(t.get(5), 0.0);
+        t.reset(&pool, 10 * cap);
+        assert!(t.capacity() > cap, "grew for larger bound");
+    }
+
+    #[test]
+    fn reserve_rehash_preserves_entries() {
+        let pool = Pool::new(2);
+        let mut t = ConcurrentSparseVec::with_capacity(8);
+        for k in 0..8u32 {
+            t.add(k, k as f64 * 0.5);
+        }
+        t.reserve_rehash(&pool, 10_000);
+        assert!(t.capacity() >= 20_000);
+        for k in 0..8u32 {
+            assert_eq!(t.get(k), k as f64 * 0.5);
+        }
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn l1_norm_sums_all_mass() {
+        let pool = Pool::new(2);
+        let t = ConcurrentSparseVec::with_capacity(32);
+        for k in 0..20u32 {
+            t.add(k, 0.25);
+        }
+        assert_eq!(t.l1_norm(&pool), 5.0);
+    }
+
+    #[test]
+    fn rank_map_insert_get() {
+        let m = ConcurrentRankMap::with_capacity(100);
+        for k in 0..100u32 {
+            m.insert(k * 7, k);
+        }
+        for k in 0..100u32 {
+            assert_eq!(m.get(k * 7), Some(k));
+        }
+        assert_eq!(m.get(3), None);
+    }
+
+    #[test]
+    fn rank_map_parallel_inserts() {
+        let pool = Pool::new(4);
+        let n = 30_000;
+        let m = ConcurrentRankMap::with_capacity(n);
+        pool.for_each_index(n, 256, |i| {
+            m.insert(i as u32 * 2, i as u32);
+        });
+        for i in 0..n as u32 {
+            assert_eq!(m.get(i * 2), Some(i));
+            assert_eq!(m.get(i * 2 + 1), None);
+        }
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let t = ConcurrentSparseVec::with_capacity(8);
+        t.set(4, 1.0);
+        t.set(4, 9.0);
+        assert_eq!(t.get(4), 9.0);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Sparse sets for local graph algorithms.
+//!
+//! Local clustering algorithms only touch the vertices near the seed, so
+//! they cannot afford `O(|V|)` dense vectors; the paper stores every
+//! diffusion vector in a *sparse set* — a hash table keyed by vertex id
+//! where a missing key reads as the zero element `⊥ = 0`.
+//!
+//! Two implementations, mirroring the paper's §2 "Sparse Sets":
+//!
+//! * [`SparseVec`] / [`SparseMap`] — sequential open-addressing tables
+//!   (the paper uses STL `unordered_map` here; ours uses linear probing
+//!   with a strong integer mixer, which is also why the parallel codes run
+//!   on one thread can beat the "sequential" baselines, as the paper
+//!   observes in §4).
+//! * [`ConcurrentSparseVec`] / [`ConcurrentRankMap`] — lock-free linear
+//!   probing tables in the style of the *phase-concurrent* hash table of
+//!   Shun and Blelloch (SPAA 2014, the paper's [42]): keys are claimed
+//!   with compare-and-swap and `f64` values accumulate with an atomic
+//!   fetch-add, so a batch of `N` inserts/accumulates takes `O(N)` work
+//!   and `O(log N)` depth w.h.p.
+//!
+//! # Phase-concurrency contract
+//!
+//! The concurrent tables support *one kind* of operation per parallel
+//! phase: any number of threads may call `add`/`insert` concurrently, or
+//! any number may call `get` concurrently, but mixing writers and readers
+//! of the *same key set* within a phase yields unspecified (though still
+//! memory-safe) snapshots. The clustering algorithms naturally obey this:
+//! `edgeMap` accumulates in one phase, the frontier filter reads in the
+//! next. Capacity is fixed during a parallel phase; grow only at the
+//! sequential points between phases ([`ConcurrentSparseVec::reset`],
+//! [`ConcurrentSparseVec::reserve_rehash`]).
+
+mod conc;
+mod hash;
+mod seq;
+
+pub use conc::{ConcurrentRankMap, ConcurrentSparseVec};
+pub use hash::hash_u32;
+pub use seq::{SparseMap, SparseVec};
+
+/// Key slot sentinel: vertex ids must be `< u32::MAX`.
+pub(crate) const EMPTY: u32 = u32::MAX;

@@ -1,0 +1,82 @@
+//! Model-based property tests: the sparse sets must behave exactly like a
+//! `HashMap` under arbitrary operation sequences.
+
+use lgc_parallel::Pool;
+use lgc_sparse::{ConcurrentSparseVec, SparseVec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u32, f64),
+    Set(u32, f64),
+    Get(u32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..64, -4.0f64..4.0).prop_map(|(k, v)| Op::Add(k, v)),
+            (0u32..64, -4.0f64..4.0).prop_map(|(k, v)| Op::Set(k, v)),
+            (0u32..96).prop_map(Op::Get),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn seq_sparse_vec_matches_hashmap(ops in ops()) {
+        let mut sv = SparseVec::new_f64();
+        let mut model: HashMap<u32, f64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Add(k, v) => {
+                    sv.add(k, v);
+                    *model.entry(k).or_insert(0.0) += v;
+                }
+                Op::Set(k, v) => {
+                    sv.set(k, v);
+                    model.insert(k, v);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(sv.get(k), model.get(&k).copied().unwrap_or(0.0));
+                }
+            }
+        }
+        prop_assert_eq!(sv.len(), model.len());
+        let mut got = sv.entries_sorted();
+        let mut want: Vec<(u32, f64)> = model.into_iter().collect();
+        want.sort_unstable_by_key(|&(k, _)| k);
+        got.sort_unstable_by_key(|&(k, _)| k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_adds_match_sequential_totals(
+        keys in prop::collection::vec(0u32..32, 1..2000),
+        t in 1usize..=4,
+    ) {
+        // Parallel accumulation of +0.5 per occurrence must equal the
+        // sequential count exactly (dyadic values, atomic fetch-add).
+        let pool = Pool::new(t);
+        let table = ConcurrentSparseVec::with_capacity(64);
+        pool.run(keys.len(), 7, |s, e| {
+            for &k in &keys[s..e] {
+                table.add(k, 0.5);
+            }
+        });
+        let mut model: HashMap<u32, f64> = HashMap::new();
+        for &k in &keys {
+            *model.entry(k).or_insert(0.0) += 0.5;
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.get(k), v);
+        }
+        let total: f64 = table.entries(&pool).iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(total, keys.len() as f64 * 0.5);
+    }
+}

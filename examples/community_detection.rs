@@ -1,0 +1,112 @@
+//! Community detection on a planted-partition (SBM) graph.
+//!
+//! The paper's motivating application: find the community containing a
+//! query vertex without touching the whole graph. We generate a
+//! stochastic block model with known ground truth, run each of the four
+//! diffusions from the same seed, and score the recovered clusters with
+//! precision/recall/F1 against the planted block.
+//!
+//! ```sh
+//! cargo run --release --example community_detection
+//! ```
+
+use plgc::{
+    find_cluster, Algorithm, HkprParams, NibbleParams, Pool, PrNibbleParams, RandHkprParams, Seed,
+};
+use std::collections::HashSet;
+
+fn main() {
+    // 8 blocks of 64 vertices; dense inside (p=0.25), sparse across.
+    let block_sizes = vec![64usize; 8];
+    let (g, labels) = plgc::graph::gen::sbm(&block_sizes, 0.25, 0.003, 20260610);
+    println!(
+        "SBM: {} vertices, {} edges, {} planted blocks of 64",
+        g.num_vertices(),
+        g.num_edges(),
+        block_sizes.len()
+    );
+
+    let pool = Pool::with_default_threads();
+    let seed_vertex = 70u32; // inside block 1
+    let truth: HashSet<u32> = (0..g.num_vertices() as u32)
+        .filter(|&v| labels[v as usize] == labels[seed_vertex as usize])
+        .collect();
+    println!(
+        "seed {seed_vertex} (block {}), |truth| = {}",
+        labels[seed_vertex as usize],
+        truth.len()
+    );
+    println!();
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "algorithm", "|cluster|", "phi", "support", "prec", "rec", "F1"
+    );
+
+    let algorithms: Vec<(&str, Algorithm)> = vec![
+        (
+            "Nibble",
+            Algorithm::Nibble(NibbleParams {
+                t_max: 30,
+                eps: 1e-7,
+            }),
+        ),
+        (
+            "PR-Nibble",
+            Algorithm::PrNibble(PrNibbleParams {
+                alpha: 0.05,
+                eps: 1e-7,
+                ..Default::default()
+            }),
+        ),
+        (
+            "HK-PR",
+            Algorithm::Hkpr(HkprParams {
+                t: 8.0,
+                n_levels: 20,
+                eps: 1e-6,
+            }),
+        ),
+        (
+            "rand-HK-PR",
+            Algorithm::RandHkpr(RandHkprParams {
+                t: 8.0,
+                max_len: 20,
+                walks: 200_000,
+                rng_seed: 1,
+            }),
+        ),
+    ];
+
+    for (name, algo) in algorithms {
+        let result = find_cluster(&pool, &g, &Seed::single(seed_vertex), &algo);
+        let found: HashSet<u32> = result.cluster.iter().copied().collect();
+        let tp = found.intersection(&truth).count() as f64;
+        let precision = if found.is_empty() {
+            0.0
+        } else {
+            tp / found.len() as f64
+        };
+        let recall = tp / truth.len() as f64;
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        println!(
+            "{:<12} {:>8} {:>10.5} {:>10} {:>8.3} {:>8.3} {:>8.3}",
+            name,
+            found.len(),
+            result.conductance,
+            result.diffusion.support_size(),
+            precision,
+            recall,
+            f1
+        );
+        assert!(
+            f1 > 0.8,
+            "{name}: expected high-quality recovery, F1 = {f1}"
+        );
+    }
+    println!();
+    println!("=> all four diffusions recover the planted community (F1 > 0.8)");
+}

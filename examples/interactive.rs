@@ -1,0 +1,136 @@
+//! Interactive cluster exploration — the paper's motivating workload:
+//! "an analyst would run a computation, study the result, and based on
+//! that determine what computation to run next. To keep response times
+//! low, it is important that a single local computation be made
+//! efficient."
+//!
+//! A tiny command-driven explorer over a generated graph. Reads commands
+//! from stdin (one per line) and answers instantly using the parallel
+//! algorithms:
+//!
+//! ```text
+//! cluster <seed> [alpha] [eps]   PR-Nibble + sweep from <seed>
+//! nibble <seed> [T] [eps]        Nibble + sweep from <seed>
+//! hk <seed> [t] [N] [eps]        HK-PR + sweep from <seed>
+//! degree <v>                     degree of v
+//! stats                          graph statistics
+//! quit
+//! ```
+//!
+//! ```sh
+//! printf 'stats\ncluster 42\nquit\n' | cargo run --release --example interactive
+//! ```
+
+use plgc::cluster as lgc;
+use plgc::{Pool, Seed};
+use std::io::BufRead;
+use std::time::Instant;
+
+fn main() {
+    let (g, _labels) = plgc::graph::gen::sbm(&[80; 12], 0.2, 0.002, 11);
+    let pool = Pool::with_default_threads();
+    println!(
+        "loaded SBM graph: {} vertices, {} edges ({} threads). Type 'help'.",
+        g.num_vertices(),
+        g.num_edges(),
+        pool.num_threads()
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let t0 = Instant::now();
+        match parts.as_slice() {
+            [] => continue,
+            ["quit"] | ["exit"] => break,
+            ["help"] => {
+                println!("commands: cluster <seed> [alpha] [eps] | nibble <seed> [T] [eps] | hk <seed> [t] [N] [eps] | degree <v> | stats | quit");
+            }
+            ["stats"] => {
+                println!(
+                    "n = {}, m = {}, max degree = {}",
+                    g.num_vertices(),
+                    g.num_edges(),
+                    g.max_degree()
+                );
+            }
+            ["degree", v] => match parse_vertex(v, &g) {
+                Some(v) => println!("d({v}) = {}", g.degree(v)),
+                None => println!("vertex out of range"),
+            },
+            ["cluster", s, rest @ ..] => {
+                if let Some(v) = parse_vertex(s, &g) {
+                    let alpha = rest.first().and_then(|x| x.parse().ok()).unwrap_or(0.05);
+                    let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
+                    let params = lgc::PrNibbleParams {
+                        alpha,
+                        eps,
+                        ..Default::default()
+                    };
+                    let d = lgc::prnibble_par(&pool, &g, &Seed::single(v), &params);
+                    answer(&g, &pool, &d, t0);
+                } else {
+                    println!("vertex out of range");
+                }
+            }
+            ["nibble", s, rest @ ..] => {
+                if let Some(v) = parse_vertex(s, &g) {
+                    let t_max = rest.first().and_then(|x| x.parse().ok()).unwrap_or(20);
+                    let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-7);
+                    let d = lgc::nibble_par(
+                        &pool,
+                        &g,
+                        &Seed::single(v),
+                        &lgc::NibbleParams { t_max, eps },
+                    );
+                    answer(&g, &pool, &d, t0);
+                } else {
+                    println!("vertex out of range");
+                }
+            }
+            ["hk", s, rest @ ..] => {
+                if let Some(v) = parse_vertex(s, &g) {
+                    let t = rest.first().and_then(|x| x.parse().ok()).unwrap_or(10.0);
+                    let n_levels = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(20);
+                    let eps = rest.get(2).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
+                    let d = lgc::hkpr_par(
+                        &pool,
+                        &g,
+                        &Seed::single(v),
+                        &lgc::HkprParams { t, n_levels, eps },
+                    );
+                    answer(&g, &pool, &d, t0);
+                } else {
+                    println!("vertex out of range");
+                }
+            }
+            _ => println!("unknown command (try 'help')"),
+        }
+    }
+}
+
+fn parse_vertex(s: &str, g: &plgc::Graph) -> Option<u32> {
+    s.parse::<u32>()
+        .ok()
+        .filter(|&v| (v as usize) < g.num_vertices())
+}
+
+fn answer(g: &plgc::Graph, pool: &Pool, d: &lgc::Diffusion, t0: Instant) {
+    let sweep = lgc::sweep_cut_par(pool, g, &d.p);
+    let mut preview: Vec<u32> = sweep.cluster().to_vec();
+    preview.sort_unstable();
+    preview.truncate(12);
+    println!(
+        "cluster of {} vertices, phi = {:.5}, support = {}, {:.1} ms  (first members: {:?}{})",
+        sweep.best_size,
+        sweep.best_conductance,
+        d.support_size(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        preview,
+        if sweep.best_size > 12 { ", ..." } else { "" }
+    );
+}

@@ -1,0 +1,47 @@
+//! Parallel Local Graph Clustering — umbrella crate.
+//!
+//! A Rust reproduction of *"Parallel Local Graph Clustering"* (Shun,
+//! Roosta-Khorasani, Fountoulakis, Mahoney; VLDB 2016). This crate
+//! re-exports the whole workspace under one roof:
+//!
+//! * [`parallel`] — thread pool and work-depth primitives (prefix sums,
+//!   filter, parallel sorts, atomic `f64`).
+//! * [`sparse`] — sequential and phase-concurrent sparse sets.
+//! * [`graph`] — CSR graphs, generators, conductance utilities, I/O.
+//! * [`ligra`] — `vertexSubset` / `vertexMap` / `edgeMap` frontier
+//!   framework.
+//! * [`cluster`] — the paper's algorithms: Nibble, PR-Nibble, HK-PR,
+//!   rand-HK-PR, evolving sets, sweep cuts, and NCP plots.
+//!
+//! The most common entry points are also re-exported at the top level:
+//!
+//! ```
+//! use plgc::{find_cluster, Algorithm, Pool, PrNibbleParams, Seed};
+//!
+//! let g = plgc::graph::gen::two_cliques_bridge(16);
+//! let pool = Pool::with_default_threads();
+//! let result = find_cluster(
+//!     &pool,
+//!     &g,
+//!     &Seed::single(0),
+//!     &Algorithm::PrNibble(PrNibbleParams::default()),
+//! );
+//! assert_eq!(result.cluster.len(), 16);
+//! assert!(result.conductance < 0.01);
+//! ```
+
+pub use lgc_core as cluster;
+pub use lgc_graph as graph;
+pub use lgc_ligra as ligra;
+pub use lgc_parallel as parallel;
+pub use lgc_sparse as sparse;
+
+pub use lgc_core::{
+    batch_prnibble, evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq,
+    ncp_prnibble, nibble_par, nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq,
+    rand_hkpr_par, rand_hkpr_seq, sweep_cut_par, sweep_cut_seq, Algorithm, ClusterResult,
+    Diffusion, EvolvingParams, HkprParams, NcpParams, NibbleParams, PrNibbleParams, PushRule,
+    Query, RandHkprParams, Seed, SweepCut,
+};
+pub use lgc_graph::{Graph, GraphBuilder};
+pub use lgc_parallel::Pool;

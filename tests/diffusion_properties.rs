@@ -1,0 +1,92 @@
+//! Property-based tests on diffusion invariants, over random graphs,
+//! seeds, parameters, and thread counts.
+
+use plgc::cluster as lgc;
+use plgc::{Pool, Seed};
+use proptest::prelude::*;
+
+fn small_graph() -> impl Strategy<Value = (plgc::Graph, u32)> {
+    (10usize..200, 0u64..1000).prop_map(|(n, s)| {
+        let g = plgc::graph::gen::rand_local(n.max(10), 4, s);
+        let seed = plgc::graph::largest_component(&g)[0];
+        (g, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nibble_mass_never_exceeds_one((g, v) in small_graph(), t_max in 1usize..12, threads in 1usize..=3) {
+        let pool = Pool::new(threads);
+        let d = lgc::nibble_par(&pool, &g, &Seed::single(v), &lgc::NibbleParams { t_max, eps: 1e-6 });
+        let total = d.total_mass();
+        prop_assert!(total <= 1.0 + 1e-9, "mass {}", total);
+        prop_assert!(d.p.iter().all(|&(_, m)| m > 0.0));
+        prop_assert!((total + d.stats.residual_mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prnibble_conserves_mass((g, v) in small_graph(), alpha in 0.01f64..0.5, threads in 1usize..=3) {
+        let pool = Pool::new(threads);
+        let params = lgc::PrNibbleParams { alpha, eps: 1e-5, ..Default::default() };
+        let d = lgc::prnibble_par(&pool, &g, &Seed::single(v), &params);
+        prop_assert!((d.total_mass() + d.stats.residual_mass - 1.0).abs() < 1e-9);
+        // Work bound (Theorem 3).
+        prop_assert!((d.stats.pushed_volume as f64) <= 1.0 / (alpha * 1e-5));
+    }
+
+    #[test]
+    fn hkpr_par_matches_seq_support((g, v) in small_graph(), t in 0.5f64..8.0, threads in 1usize..=3) {
+        let params = lgc::HkprParams { t, n_levels: 10, eps: 1e-5 };
+        let seq = lgc::hkpr_seq(&g, &Seed::single(v), &params);
+        let pool = Pool::new(threads);
+        let par = lgc::hkpr_par(&pool, &g, &Seed::single(v), &params);
+        prop_assert_eq!(seq.support_size(), par.support_size());
+        prop_assert_eq!(seq.stats.pushes, par.stats.pushes);
+        for (&(va, ma), &(vb, mb)) in seq.p.iter().zip(&par.p) {
+            prop_assert_eq!(va, vb);
+            prop_assert!((ma - mb).abs() <= 1e-12 * ma.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rand_hkpr_mass_exactly_one((g, v) in small_graph(), walks in 100usize..5000, threads in 1usize..=3) {
+        let pool = Pool::new(threads);
+        let params = lgc::RandHkprParams { t: 3.0, max_len: 8, walks, rng_seed: 1 };
+        let d = lgc::rand_hkpr_par(&pool, &g, &Seed::single(v), &params);
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nibble_with_target_honors_its_contract((g, v) in small_graph(), phi in 0.001f64..0.9, threads in 1usize..=3) {
+        let pool = Pool::new(threads);
+        let params = lgc::NibbleParams { t_max: 15, eps: 1e-6 };
+        if let Some(sweep) = lgc::nibble_with_target_par(&pool, &g, &Seed::single(v), &params, phi) {
+            prop_assert!(sweep.best_conductance <= phi, "returned {} > target {}", sweep.best_conductance, phi);
+            prop_assert!(!sweep.cluster().is_empty());
+            // The reported conductance is real.
+            let direct = g.conductance(sweep.cluster());
+            prop_assert!((direct - sweep.best_conductance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cluster_results_are_valid_sets((g, v) in small_graph(), threads in 1usize..=3) {
+        let pool = Pool::new(threads);
+        let res = lgc::find_cluster(
+            &pool, &g, &Seed::single(v),
+            &lgc::Algorithm::PrNibble(lgc::PrNibbleParams { alpha: 0.1, eps: 1e-5, ..Default::default() }),
+        );
+        // Cluster is non-empty, duplicate-free, within range, and its
+        // conductance equals the direct computation.
+        prop_assert!(!res.cluster.is_empty());
+        let mut sorted = res.cluster.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), res.cluster.len());
+        prop_assert!(res.cluster.iter().all(|&u| (u as usize) < g.num_vertices()));
+        let direct = g.conductance(&res.cluster);
+        prop_assert!((direct - res.conductance).abs() < 1e-9 || (direct.is_infinite() && res.conductance.is_infinite()));
+    }
+}

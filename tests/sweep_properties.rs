@@ -1,0 +1,79 @@
+//! Property-based tests for the sweep cut: the parallel Theorem 1
+//! implementation must agree with the sequential algorithm and with a
+//! brute-force conductance oracle on arbitrary graphs and vectors.
+
+use plgc::cluster::{sweep_cut_par, sweep_cut_seq};
+use plgc::{Graph, Pool};
+use proptest::prelude::*;
+
+/// Arbitrary small graph + arbitrary sparse positive vector.
+fn graph_and_vector() -> impl Strategy<Value = (Graph, Vec<(u32, f64)>)> {
+    (
+        2usize..40,
+        prop::collection::vec((0u32..40, 0u32..40), 1..120),
+        prop::collection::vec((0u32..40, 0.01f64..10.0), 1..25),
+    )
+        .prop_map(|(n, raw_edges, raw_p)| {
+            let edges: Vec<(u32, u32)> = raw_edges
+                .into_iter()
+                .map(|(u, v)| (u % n as u32, v % n as u32))
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            let mut p: Vec<(u32, f64)> =
+                raw_p.into_iter().map(|(v, m)| (v % n as u32, m)).collect();
+            p.sort_unstable_by_key(|&(v, _)| v);
+            p.dedup_by_key(|&mut (v, _)| v);
+            (g, p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parallel_sweep_equals_sequential((g, p) in graph_and_vector(), threads in 1usize..=4) {
+        let pool = Pool::new(threads);
+        let s = sweep_cut_seq(&g, &p);
+        let q = sweep_cut_par(&pool, &g, &p);
+        prop_assert_eq!(&s.order, &q.order);
+        prop_assert_eq!(&s.conductances, &q.conductances);
+        prop_assert_eq!(s.best_size, q.best_size);
+        prop_assert_eq!(s.best_conductance, q.best_conductance);
+    }
+
+    #[test]
+    fn sweep_conductances_match_oracle((g, p) in graph_and_vector()) {
+        let s = sweep_cut_seq(&g, &p);
+        for j in 1..=s.order.len() {
+            let direct = g.conductance(&s.order[..j]);
+            let got = s.conductances[j - 1];
+            prop_assert!(
+                (direct.is_infinite() && got.is_infinite())
+                    || (direct - got).abs() < 1e-9,
+                "prefix {}: {} vs {}", j, direct, got
+            );
+        }
+        // The reported best really is the minimum over prefixes.
+        if s.best_size > 0 {
+            let min = s
+                .conductances
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(s.best_conductance, min);
+        }
+    }
+
+    #[test]
+    fn sweep_order_is_by_normalized_mass((g, p) in graph_and_vector()) {
+        let s = sweep_cut_seq(&g, &p);
+        let score = |v: u32| {
+            let m = p.iter().find(|&&(u, _)| u == v).unwrap().1;
+            m / g.degree(v) as f64
+        };
+        for w in s.order.windows(2) {
+            let (a, b) = (score(w[0]), score(w[1]));
+            prop_assert!(a > b || (a == b && w[0] < w[1]), "order violated: {} then {}", w[0], w[1]);
+        }
+    }
+}
