@@ -1,0 +1,267 @@
+//! `bench_diffusion` — records per-suite-graph diffusion wall-clocks to
+//! `BENCH_diffusion.json` so perf PRs leave a comparable trajectory.
+//!
+//! ```sh
+//! cargo run --release -p lgc-bench --bin bench_diffusion            # all graphs
+//! cargo run --release -p lgc-bench --bin bench_diffusion -- \
+//!     --out BENCH_diffusion.json --graphs soc-lj-sim,twitter-sim \
+//!     --baseline BENCH_baseline.json --reps 3
+//! ```
+//!
+//! For every suite graph and each of Nibble / PR-Nibble / HK-PR it times
+//! the sequential algorithm and the parallel one at 1, 2, and 4 threads
+//! (best-of-`reps` wall-clock). With `--baseline FILE` the previous
+//! recording is embedded in the output together with per-row speedups,
+//! which is how a PR documents its measured improvement.
+//!
+//! The emitter keeps each result object on its own line; the `--baseline`
+//! reader relies on that line discipline instead of a JSON parser (the
+//! container has no serde).
+
+use lgc_bench::{suite, suite_seed, time_best_of, SuiteGraph};
+use lgc_core as lgc;
+use lgc_core::Seed;
+use lgc_parallel::Pool;
+use std::fmt::Write as _;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+struct Row {
+    graph: String,
+    algorithm: &'static str,
+    seq_s: f64,
+    par_s: [f64; THREADS.len()],
+}
+
+impl Row {
+    /// One-line JSON object (the format `read_baseline` depends on).
+    fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"graph\": \"{}\", \"algorithm\": \"{}\", \"seq_s\": {:.6}",
+            self.graph, self.algorithm, self.seq_s
+        );
+        for (t, secs) in THREADS.iter().zip(self.par_s) {
+            let _ = write!(s, ", \"par{t}_s\": {secs:.6}");
+        }
+        s.push('}');
+        s
+    }
+
+    fn from_json_line(line: &str) -> Option<Row> {
+        let field = |key: &str| -> Option<&str> {
+            let tag = format!("\"{key}\": ");
+            let rest = &line[line.find(&tag)? + tag.len()..];
+            let end = rest.find([',', '}'])?;
+            Some(rest[..end].trim().trim_matches('"'))
+        };
+        let mut par_s = [0.0; THREADS.len()];
+        for (slot, t) in par_s.iter_mut().zip(THREADS) {
+            *slot = field(&format!("par{t}_s"))?.parse().ok()?;
+        }
+        Some(Row {
+            graph: field("graph")?.to_string(),
+            algorithm: match field("algorithm")? {
+                "nibble" => "nibble",
+                "prnibble" => "prnibble",
+                "hkpr" => "hkpr",
+                _ => return None,
+            },
+            seq_s: field("seq_s")?.parse().ok()?,
+            par_s,
+        })
+    }
+}
+
+fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize) -> Vec<Row> {
+    let g = &sg.graph;
+    let seed = Seed::single(suite_seed(g));
+    let mut rows = Vec::new();
+
+    let nb = lgc::NibbleParams {
+        t_max: 20,
+        eps: 1e-7,
+    };
+    let pr = lgc::PrNibbleParams {
+        alpha: 0.01,
+        eps: 1e-6,
+        ..Default::default()
+    };
+    let hk = lgc::HkprParams {
+        t: 10.0,
+        n_levels: 20,
+        eps: 1e-6,
+    };
+
+    let mut row = |algorithm: &'static str, seq: &dyn Fn(), par: &dyn Fn(&Pool)| {
+        let (_, seq_s) = time_best_of(reps, seq);
+        let mut par_s = [0.0; THREADS.len()];
+        for (slot, pool) in par_s.iter_mut().zip(pools) {
+            let (_, secs) = time_best_of(reps, || par(pool));
+            *slot = secs;
+        }
+        eprintln!(
+            "  {:<10} seq {:>8.1}ms  par {:?}ms",
+            algorithm,
+            seq_s * 1e3,
+            par_s.map(|s| (s * 1e4).round() / 10.0)
+        );
+        rows.push(Row {
+            graph: sg.name.to_string(),
+            algorithm,
+            seq_s,
+            par_s,
+        });
+    };
+
+    row(
+        "nibble",
+        &|| {
+            lgc::nibble_seq(g, &seed, &nb);
+        },
+        &|pool| {
+            lgc::nibble_par(pool, g, &seed, &nb);
+        },
+    );
+    row(
+        "prnibble",
+        &|| {
+            lgc::prnibble_seq(g, &seed, &pr);
+        },
+        &|pool| {
+            lgc::prnibble_par(pool, g, &seed, &pr);
+        },
+    );
+    row(
+        "hkpr",
+        &|| {
+            lgc::hkpr_seq(g, &seed, &hk);
+        },
+        &|pool| {
+            lgc::hkpr_par(pool, g, &seed, &hk);
+        },
+    );
+    rows
+}
+
+fn read_baseline(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    text.lines().filter_map(Row::from_json_line).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = opt("--out").unwrap_or_else(|| "BENCH_diffusion.json".to_string());
+    let reps: usize = opt("--reps").map_or(3, |r| r.parse().expect("--reps N"));
+    let only: Option<Vec<String>> =
+        opt("--graphs").map(|s| s.split(',').map(str::to_string).collect());
+    let baseline = opt("--baseline").map(|p| (p.clone(), read_baseline(&p)));
+    let quick = args.iter().any(|a| a == "--quick");
+
+    eprintln!("# generating graph suite (quick={quick})...");
+    let graphs = suite(quick);
+    let pools: Vec<Pool> = THREADS.iter().map(|&t| Pool::new(t)).collect();
+
+    if let Some(only) = &only {
+        for name in only {
+            if !graphs.iter().any(|sg| sg.name == name) {
+                eprintln!(
+                    "warning: --graphs entry {name:?} matches no suite graph (have: {})",
+                    graphs
+                        .iter()
+                        .map(|sg| sg.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for sg in &graphs {
+        if let Some(only) = &only {
+            if !only.iter().any(|n| n == sg.name) {
+                continue;
+            }
+        }
+        eprintln!(
+            "# {} ({} vertices, {} edges)",
+            sg.name,
+            sg.graph.num_vertices(),
+            sg.graph.num_edges()
+        );
+        rows.extend(bench_graph(sg, &pools, reps));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"diffusion\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"threads\": [{}],",
+        THREADS.map(|t| t.to_string()).join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "{}{comma}", row.to_json_line());
+    }
+    json.push_str("  ]");
+    if let Some((path, base_rows)) = &baseline {
+        json.push_str(",\n");
+        let _ = writeln!(json, "  \"baseline_file\": \"{path}\",");
+        let _ = writeln!(json, "  \"baseline_results\": [");
+        for (i, row) in base_rows.iter().enumerate() {
+            let comma = if i + 1 < base_rows.len() { "," } else { "" };
+            let _ = writeln!(json, "{}{comma}", row.to_json_line());
+        }
+        json.push_str("  ],\n");
+        // Per-(graph, algorithm) speedups vs the baseline recording.
+        let _ = writeln!(json, "  \"speedup_vs_baseline\": [");
+        let mut cmp_lines: Vec<String> = Vec::new();
+        for row in &rows {
+            if let Some(base) = base_rows
+                .iter()
+                .find(|b| b.graph == row.graph && b.algorithm == row.algorithm)
+            {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "    {{\"graph\": \"{}\", \"algorithm\": \"{}\", \"seq\": {:.3}",
+                    row.graph,
+                    row.algorithm,
+                    base.seq_s / row.seq_s
+                );
+                for (i, t) in THREADS.iter().enumerate() {
+                    let _ = write!(s, ", \"par{t}\": {:.3}", base.par_s[i] / row.par_s[i]);
+                }
+                s.push('}');
+                cmp_lines.push(s);
+            }
+        }
+        let _ = writeln!(json, "{}", cmp_lines.join(",\n"));
+        json.push_str("  ]");
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("# wrote {out} ({} result rows)", rows.len());
+}

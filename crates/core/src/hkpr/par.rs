@@ -10,24 +10,31 @@ use super::HkprParams;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map, vertex_map, VertexSubset};
-use lgc_parallel::{filter_map_index, Pool};
-use lgc_sparse::ConcurrentSparseVec;
+use lgc_ligra::{edge_map_indexed, VertexSubset};
+use lgc_parallel::{fill_with_index, filter_map_index, Pool};
+use lgc_sparse::MassMap;
 
 /// Parallel deterministic heat-kernel PageRank.
 /// Work `O(N² + N·e^t/ε)`, depth `O(N·t·log(1/ε))` w.h.p. (Theorem 4).
+///
+/// The per-source push value is constant across a source's edges, so each
+/// iteration precomputes a frontier-indexed `contrib` slice (one residual
+/// lookup + division per frontier vertex, fused with the UpdateSelf pass)
+/// and [`edge_map_indexed`] reduces the per-edge work to a slice load +
+/// atomic add. Mass vectors are adaptive [`MassMap`]s.
 pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
     params.validate();
+    let n = g.num_vertices();
     let n_levels = params.n_levels;
     let psi = super::psi_table(params.t, n_levels);
     let mut stats = DiffusionStats::default();
 
-    let mut r = ConcurrentSparseVec::with_capacity(seed.vertices().len() * 2);
+    let mut r = MassMap::new(n, seed.vertices().len() * 2);
     for &x in seed.vertices() {
         r.set(x, seed.mass_per_vertex());
     }
-    let mut r_next = ConcurrentSparseVec::with_capacity(16);
-    let mut p = ConcurrentSparseVec::with_capacity(16);
+    let mut r_next = MassMap::new(n, 16);
+    let mut p = MassMap::new(n, 16);
     // Level-0 entries are enqueued unconditionally, like the sequential
     // algorithm's initial queue.
     let mut frontier = VertexSubset::from_sorted(seed.vertices().to_vec());
@@ -36,34 +43,56 @@ pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Dif
     while !frontier.is_empty() {
         stats.iterations += 1;
         stats.pushes += frontier.len() as u64;
+        let k = frontier.len();
         let vol = frontier.volume(g);
         stats.pushed_volume += vol as u64;
         stats.edges_traversed += vol as u64;
+        let last_round = j + 1 == n_levels;
 
-        // UpdateSelf: bank the level-j residual.
-        p.reserve_rehash(pool, p.len() + frontier.len());
+        // UpdateSelf: bank the level-j residual; in the same indexed pass
+        // precompute each source's per-neighbor contribution — `r/d` for
+        // the final flush, `t·r/((j+1)·d)` otherwise (evaluated exactly
+        // as the per-edge code used to, for bit-identical results).
+        p.reserve_rehash(pool, p.len() + k);
+        let mut contrib = vec![0.0f64; k];
         {
+            let ids = frontier.ids();
             let (p_ref, r_ref) = (&p, &r);
-            vertex_map(pool, &frontier, |v| p_ref.add(v, r_ref.get(v)));
+            let scale = params.t / (j + 1) as f64;
+            fill_with_index(pool, &mut contrib, |i| {
+                let v = ids[i];
+                let rv = r_ref.get(v);
+                p_ref.add(v, rv);
+                let d = g.degree(v);
+                if d == 0 {
+                    0.0
+                } else if last_round {
+                    rv / d as f64
+                } else {
+                    scale * rv / d as f64
+                }
+            });
         }
 
-        if j + 1 == n_levels {
+        if last_round {
             // Last round: flush neighbor shares straight into p.
             p.reserve_rehash(pool, p.len() + vol);
-            let (p_ref, r_ref) = (&p, &r);
-            edge_map(pool, g, &frontier, |src, dst| {
-                p_ref.add(dst, r_ref.get(src) / g.degree(src) as f64);
+            let p_ref = &p;
+            let contrib = &contrib;
+            edge_map_indexed(pool, g, &frontier, |i, _src, dst| {
+                p_ref.add(dst, contrib[i]);
             });
             break;
         }
 
-        // UpdateNgh: forward t·r/((j+1)·d) to level j+1.
+        // UpdateNgh: forward t·r/((j+1)·d) to level j+1. Only edge
+        // destinations land here, so vol bounds the touched keys.
         r_next.reset(pool, vol.max(1));
         {
-            let (next_ref, r_ref) = (&r_next, &r);
-            let scale = params.t / (j + 1) as f64;
-            edge_map(pool, g, &frontier, |src, dst| {
-                next_ref.add(dst, scale * r_ref.get(src) / g.degree(src) as f64);
+            let next_ref = &r_next;
+            let contrib = &contrib;
+            edge_map_indexed(pool, g, &frontier, |i, _src, dst| {
+                next_ref.add(dst, contrib[i]);
             });
         }
 

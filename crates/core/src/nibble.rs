@@ -15,9 +15,9 @@
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map, vertex_map, VertexSubset};
-use lgc_parallel::Pool;
-use lgc_sparse::{ConcurrentSparseVec, SparseVec};
+use lgc_ligra::{edge_map_indexed, VertexSubset};
+use lgc_parallel::{fill_with_index, Pool};
+use lgc_sparse::{MassMap, SparseVec};
 
 /// Parameters for Nibble.
 #[derive(Clone, Copy, Debug)]
@@ -93,18 +93,23 @@ pub fn nibble_seq(g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
     finish(p.entries_sorted(), stats)
 }
 
-/// Parallel Nibble (Figure 3): one `vertexMap` + `edgeMap` + filter per
-/// iteration, mass vectors in concurrent sparse sets.
+/// Parallel Nibble (Figure 3): one fused self-update/contribution pass +
+/// indexed `edgeMap` + filter per iteration; mass vectors in adaptive
+/// [`MassMap`]s (sparse hash tables that upgrade to direct-indexed dense
+/// arrays once the per-iteration touch bound is a constant fraction of
+/// `n`). The per-edge work is a slice load + atomic add: each frontier
+/// vertex's spread share `p[v]/(2·d(v))` is computed once, not per edge.
 pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
     let eps = params.eps;
+    let n = g.num_vertices();
     let mut stats = DiffusionStats::default();
 
-    let mut p = ConcurrentSparseVec::with_capacity(seed.vertices().len());
+    let mut p = MassMap::new(n, seed.vertices().len());
     for &x in seed.vertices() {
         p.set(x, seed.mass_per_vertex());
     }
     let mut frontier = VertexSubset::from_sorted(active_seed(g, seed, eps));
-    let mut p_new = ConcurrentSparseVec::with_capacity(16);
+    let mut p_new = MassMap::new(n, 16);
 
     for _ in 0..params.t_max {
         if frontier.is_empty() {
@@ -112,21 +117,12 @@ pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) ->
         }
         stats.iterations += 1;
         stats.pushes += frontier.len() as u64;
+        let k = frontier.len();
         let vol = frontier.volume(g);
         stats.pushed_volume += vol as u64;
         stats.edges_traversed += vol as u64;
 
-        // Touched keys this iteration ≤ |frontier| + vol(frontier).
-        p_new.reset(pool, frontier.len() + vol);
-
-        let p_ref = &p;
-        let p_new_ref = &p_new;
-        vertex_map(pool, &frontier, |v| {
-            p_new_ref.add(v, p_ref.get(v) / 2.0);
-        });
-        edge_map(pool, g, &frontier, |src, dst| {
-            p_new_ref.add(dst, p_ref.get(src) / (2.0 * g.degree(src) as f64));
-        });
+        lazy_walk_step(pool, g, &frontier, k, vol, &p, &mut p_new);
 
         // Frontier = {v : p'[v] ≥ ε·d(v)} over the touched vertices.
         let touched = p_new.entries(pool);
@@ -160,27 +156,21 @@ pub fn nibble_with_target_par(
 ) -> Option<crate::sweep::SweepCut> {
     assert!(phi_target > 0.0, "target conductance must be positive");
     let eps = params.eps;
-    let mut p = ConcurrentSparseVec::with_capacity(seed.vertices().len());
+    let n = g.num_vertices();
+    let mut p = MassMap::new(n, seed.vertices().len());
     for &x in seed.vertices() {
         p.set(x, seed.mass_per_vertex());
     }
     let mut frontier = VertexSubset::from_sorted(active_seed(g, seed, eps));
-    let mut p_new = ConcurrentSparseVec::with_capacity(16);
+    let mut p_new = MassMap::new(n, 16);
 
     for _ in 0..params.t_max {
         if frontier.is_empty() {
             return None;
         }
+        let k = frontier.len();
         let vol = frontier.volume(g);
-        p_new.reset(pool, frontier.len() + vol);
-        let p_ref = &p;
-        let p_new_ref = &p_new;
-        vertex_map(pool, &frontier, |v| {
-            p_new_ref.add(v, p_ref.get(v) / 2.0);
-        });
-        edge_map(pool, g, &frontier, |src, dst| {
-            p_new_ref.add(dst, p_ref.get(src) / (2.0 * g.degree(src) as f64));
-        });
+        lazy_walk_step(pool, g, &frontier, k, vol, &p, &mut p_new);
 
         // Per-iteration sweep: stop at the first below-target cluster.
         let entries = p_new.entries(pool);
@@ -200,6 +190,46 @@ pub fn nibble_with_target_par(
         std::mem::swap(&mut p, &mut p_new);
     }
     None
+}
+
+/// One parallel lazy-walk spread: resets `p_new` for this iteration's
+/// touch bound (`k + vol`), banks every frontier vertex's kept half
+/// (UpdateSelf) while precomputing its per-neighbor share
+/// `p[v]/(2·d(v))`, then spreads the shares with the frontier-indexed
+/// edge map (UpdateNgh) — one slice load + atomic add per edge.
+fn lazy_walk_step(
+    pool: &Pool,
+    g: &Graph,
+    frontier: &VertexSubset,
+    k: usize,
+    vol: usize,
+    p: &MassMap,
+    p_new: &mut MassMap,
+) {
+    p_new.reset(pool, k + vol);
+    let mut share = vec![0.0f64; k];
+    {
+        let ids = frontier.ids();
+        let (p_ref, p_new_ref) = (p, &*p_new);
+        fill_with_index(pool, &mut share, |i| {
+            let v = ids[i];
+            let pv = p_ref.get(v);
+            p_new_ref.add(v, pv / 2.0);
+            // Degree-0 vertices never reach the frontier in practice
+            // (they spread nothing); guard the division anyway.
+            let d = g.degree(v);
+            if d == 0 {
+                0.0
+            } else {
+                pv / (2.0 * d as f64)
+            }
+        });
+    }
+    let p_new_ref = &*p_new;
+    let share = &share;
+    edge_map_indexed(pool, g, frontier, |i, _src, dst| {
+        p_new_ref.add(dst, share[i]);
+    });
 }
 
 /// The seed vertices that meet the activity threshold initially.

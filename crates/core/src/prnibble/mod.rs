@@ -67,17 +67,24 @@ pub struct PrNibbleParams {
     /// (§3.3's β optimization). `1.0` = the standard algorithm; only
     /// affects [`prnibble_par`].
     pub beta: f64,
+    /// Support fraction of `n` at which the parallel algorithm's mass
+    /// vectors upgrade from hash tables to direct-indexed dense arrays
+    /// (`lgc_sparse::MassMap`'s heuristic). `0.0` forces dense, values
+    /// `> 1.0` (e.g. `f64::INFINITY`) force sparse; only affects
+    /// [`prnibble_par`].
+    pub dense_frac: f64,
 }
 
 impl Default for PrNibbleParams {
     /// The paper's Table 1/3 setting: `α = 0.01`, `ε = 10⁻⁷`,
-    /// optimized rule, full frontier.
+    /// optimized rule, full frontier; adaptive mass storage.
     fn default() -> Self {
         PrNibbleParams {
             alpha: 0.01,
             eps: 1e-7,
             rule: PushRule::Optimized,
             beta: 1.0,
+            dense_frac: lgc_sparse::MassMap::DEFAULT_DENSE_FRACTION,
         }
     }
 }
@@ -90,6 +97,10 @@ impl PrNibbleParams {
         );
         assert!(self.eps > 0.0, "eps must be positive");
         assert!(self.beta > 0.0 && self.beta <= 1.0, "beta must be in (0,1]");
+        assert!(
+            self.dense_frac >= 0.0 && !self.dense_frac.is_nan(),
+            "dense_frac must be ≥ 0"
+        );
     }
 }
 

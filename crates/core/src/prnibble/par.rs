@@ -15,27 +15,38 @@ use super::PrNibbleParams;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map, VertexSubset};
+use lgc_ligra::{edge_map_indexed, VertexSubset};
 use lgc_parallel::{filter_map_index, Pool, UnsafeSlice};
-use lgc_sparse::ConcurrentSparseVec;
+use lgc_sparse::MassMap;
 
 /// Parallel PR-Nibble. Work `O(1/(α·ε))` w.h.p. (Theorem 3), regardless
 /// of the iteration count; depth is one `edgeMap` + filter per iteration.
 ///
 /// With `params.beta < 1`, only the top `β`-fraction of eligible vertices
 /// (by `r[v]/d(v)`) is pushed per iteration (§3.3's variant).
+///
+/// The per-edge work is one slice load + one atomic accumulate: the push
+/// value `cₙ·r[v]/d(v)` is constant per frontier vertex, so it is
+/// precomputed into a frontier-indexed `contrib` slice (one residual
+/// lookup and one division per frontier *vertex*) and the
+/// [`edge_map_indexed`] engine hands every edge its source's frontier
+/// index. Mass vectors live in [`MassMap`]s, which upgrade themselves to
+/// direct-indexed dense arrays once the per-iteration key bound crosses
+/// `params.dense_frac · n`.
 pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
     params.validate();
     let (cp, cr, cn) = params.rule.coefficients(params.alpha);
     let eps = params.eps;
+    let n = g.num_vertices();
     let mut stats = DiffusionStats::default();
 
-    let mut r = ConcurrentSparseVec::with_capacity(seed.vertices().len() * 2);
+    let mass_map = |bound: usize| MassMap::with_dense_fraction(n, bound, params.dense_frac);
+    let mut r = mass_map(seed.vertices().len() * 2);
     for &x in seed.vertices() {
         r.set(x, seed.mass_per_vertex());
     }
-    let mut p = ConcurrentSparseVec::with_capacity(16);
-    let mut r_delta = ConcurrentSparseVec::with_capacity(16);
+    let mut p = mass_map(16);
+    let mut r_delta = mass_map(16);
 
     // Eligible = vertices known to satisfy r[v] ≥ ε·d(v) (sorted).
     let mut eligible: Vec<u32> = seed
@@ -55,32 +66,42 @@ pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams
         stats.edges_traversed += vol as u64;
 
         // Phase 1 (read r / write p): bank the α-fraction, remember the
-        // post-push self-residuals.
+        // post-push self-residuals, and precompute each frontier vertex's
+        // per-neighbor contribution for the indexed edge map.
         p.reserve_rehash(pool, p.len() + k);
         let mut self_new = vec![0.0f64; k];
+        let mut contrib = vec![0.0f64; k];
         {
-            let view = UnsafeSlice::new(&mut self_new);
+            let self_view = UnsafeSlice::new(&mut self_new);
+            let contrib_view = UnsafeSlice::new(&mut contrib);
             let ids = frontier.ids();
             let (r_ref, p_ref) = (&r, &p);
             pool.run(k, 256, |s, e| {
-                // Global index i addresses both `ids` and the output view.
+                // Global index i addresses `ids` and both output views.
                 #[allow(clippy::needless_range_loop)]
                 for i in s..e {
-                    let rv = r_ref.get(ids[i]);
-                    p_ref.add(ids[i], cp * rv);
+                    let v = ids[i];
+                    let rv = r_ref.get(v);
+                    p_ref.add(v, cp * rv);
                     // SAFETY: disjoint indices.
-                    unsafe { view.write(i, cr * rv) };
+                    unsafe {
+                        self_view.write(i, cr * rv);
+                        contrib_view.write(i, cn * rv / g.degree(v) as f64);
+                    }
                 }
             });
         }
 
-        // Phase 2 (read r / write r_delta): neighbor contributions, using
-        // residuals from the start of the iteration.
+        // Phase 2 (write r_delta): neighbor contributions, using
+        // residuals from the start of the iteration — no residual lookup
+        // or division left in the per-edge path. Only edge destinations
+        // land here, so vol bounds the touched keys.
         r_delta.reset(pool, vol.max(1));
         {
-            let (r_ref, delta_ref) = (&r, &r_delta);
-            edge_map(pool, g, &frontier, |src, dst| {
-                delta_ref.add(dst, cn * r_ref.get(src) / g.degree(src) as f64);
+            let delta_ref = &r_delta;
+            let contrib = &contrib;
+            edge_map_indexed(pool, g, &frontier, |i, _src, dst| {
+                delta_ref.add(dst, contrib[i]);
             });
         }
 
@@ -125,12 +146,14 @@ pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams
 }
 
 /// Top `β`-fraction of `eligible` by `r[v]/d(v)` (all of it when β = 1).
-fn select_frontier(
-    g: &Graph,
-    r: &ConcurrentSparseVec,
-    eligible: &[u32],
-    beta: f64,
-) -> VertexSubset {
+///
+/// Partial selection, not a full sort: `select_nth_unstable_by` places
+/// the `take` best-scored vertices (under a total order — score
+/// descending, vertex id ascending on ties, and scores are never NaN
+/// since `d > 0`) in the prefix in `O(k)` expected time instead of
+/// `O(k log k)`. The selected *set* is deterministic because the
+/// comparator never declares two distinct vertices equal.
+fn select_frontier(g: &Graph, r: &MassMap, eligible: &[u32], beta: f64) -> VertexSubset {
     if beta >= 1.0 {
         return VertexSubset::from_sorted(eligible.to_vec());
     }
@@ -139,12 +162,15 @@ fn select_frontier(
         .iter()
         .map(|&v| (v, r.get(v) / g.degree(v) as f64))
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
-    VertexSubset::from_unsorted(scored[..take].iter().map(|&(v, _)| v).collect())
+    if take < scored.len() {
+        scored.select_nth_unstable_by(take - 1, |a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(take);
+    }
+    VertexSubset::from_unsorted(scored.iter().map(|&(v, _)| v).collect())
 }
 
 #[cfg(test)]
@@ -168,6 +194,7 @@ mod tests {
                     eps: 1e-6,
                     rule,
                     beta: 1.0,
+                    ..Default::default()
                 };
                 let d = prnibble_par(&pool, &g, &seed, &params);
                 let total = d.total_mass() + d.stats.residual_mass;

@@ -198,6 +198,7 @@ mod tests {
                 eps: 1e-9,
                 rule,
                 beta: 1.0,
+                ..Default::default()
             };
             let mut state = PushState::new(&g, &Seed::single(0), &params);
             let mut queue: VecDeque<u32> = state.initial_active().into();
@@ -224,6 +225,7 @@ mod tests {
                 eps: 1e-5,
                 rule,
                 beta: 1.0,
+                ..Default::default()
             };
             let d = prnibble_seq(&g, &Seed::single(5), &params);
             let bound = 1.0 / (params.alpha * params.eps);
@@ -243,6 +245,7 @@ mod tests {
             eps: 1e-6,
             rule,
             beta: 1.0,
+            ..Default::default()
         };
         let orig = prnibble_seq(&g, &Seed::single(0), &mk(PushRule::Original));
         let opt = prnibble_seq(&g, &Seed::single(0), &mk(PushRule::Optimized));

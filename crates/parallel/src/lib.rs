@@ -38,7 +38,9 @@ mod sort;
 pub use atomic::{atomic_f64_fetch_add, AtomicF64};
 pub use filter::{filter, filter_map_index, pack_indices};
 pub use intsort::counting_sort_by_key;
-pub use map::{fill_with_index, map, map_index, max_by, reduce, sum_f64, sum_u64};
+pub use map::{
+    fill_with_index, map, map_index, max_by, reduce, sum_f64, sum_f64_by_index, sum_u64,
+};
 pub use pool::Pool;
 pub use scan::{scan_exclusive, scan_inclusive};
 pub use slice::UnsafeSlice;

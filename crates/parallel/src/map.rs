@@ -40,6 +40,39 @@ pub fn fill_with_index<U: Send + Sync>(pool: &Pool, out: &mut [U], f: impl Fn(us
     });
 }
 
+/// Sums `f(i)` for `i in 0..len` with *fixed* chunk boundaries: each
+/// `grain`-sized chunk accumulates locally into its own partial
+/// (regardless of how the pool schedules chunks or how many threads it
+/// has) and the partials combine sequentially in chunk order. The result
+/// is therefore bit-identical across pools and thread counts, and no
+/// `O(len)` intermediate vector is materialized — only the
+/// `len / grain` partials.
+pub fn sum_f64_by_index(
+    pool: &Pool,
+    len: usize,
+    grain: usize,
+    f: impl Fn(usize) -> f64 + Sync,
+) -> f64 {
+    if len == 0 {
+        return 0.0;
+    }
+    let grain = grain.max(1);
+    let n_chunks = len.div_ceil(grain);
+    let mut partials = vec![0.0f64; n_chunks];
+    let view = UnsafeSlice::new(&mut partials);
+    pool.for_each_index(n_chunks, 1, |c| {
+        let s = c * grain;
+        let e = (s + grain).min(len);
+        let mut acc = 0.0;
+        for i in s..e {
+            acc += f(i);
+        }
+        // SAFETY: one write per chunk index.
+        unsafe { view.write(c, acc) };
+    });
+    partials.iter().sum()
+}
+
 /// Reduces `input` with an associative operator `op` and identity element.
 ///
 /// The combine order differs from a sequential left fold, so `op` should be

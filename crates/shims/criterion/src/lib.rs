@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The registry is unreachable in this environment, so this local crate
+//! keeps the workspace's `benches/` targets compiling and runnable with
+//! the same source. It implements the used API (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) as a
+//! plain wall-clock harness: warm-up, then `sample_size` samples, then a
+//! one-line `min/mean/max` report. No statistics, plots, or baselines —
+//! for recorded comparisons use `crates/bench/src/bin/bench_diffusion.rs`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point; holds the defaults groups inherit.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up, self.measurement);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            warm_up,
+            measurement,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(
+            &id.to_string(),
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            &mut f,
+        );
+    }
+}
+
+/// A named set of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the closure; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let t0 = Instant::now();
+        while t0.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measure `sample_size` samples or until the budget runs out
+        // (always at least one).
+        let budget = Instant::now();
+        for i in 0..self.sample_size {
+            let s = Instant::now();
+            black_box(routine());
+            self.samples.push(s.elapsed());
+            if i > 0 && budget.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        warm_up,
+        measurement,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{label:<48} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  ({} samples)",
+        min,
+        mean,
+        max,
+        b.samples.len()
+    );
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0usize;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 2, "workload executed");
+        group.finish();
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &x| {
+            b.iter(|| assert_eq!(x, 7))
+        });
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+    }
+}

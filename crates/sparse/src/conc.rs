@@ -149,12 +149,20 @@ impl ConcurrentSparseVec {
     }
 
     /// Sum of all stored values (read phase).
+    ///
+    /// A chunked parallel reduction straight over the slots: each chunk
+    /// accumulates locally and writes one partial, so no `O(len)`
+    /// intermediate vector is materialized, and the fixed chunk
+    /// boundaries of [`lgc_parallel::sum_f64_by_index`] make the result
+    /// bit-identical across pools and thread counts.
     pub fn l1_norm(&self, pool: &Pool) -> f64 {
-        let vals = filter_map_index(pool, self.capacity(), |i| {
-            (self.keys[i].load(Ordering::Acquire) != EMPTY)
-                .then(|| f64::from_bits(self.vals[i].load(Ordering::Acquire)))
-        });
-        vals.iter().sum()
+        lgc_parallel::sum_f64_by_index(pool, self.capacity(), 1 << 14, |i| {
+            if self.keys[i].load(Ordering::Acquire) != EMPTY {
+                f64::from_bits(self.vals[i].load(Ordering::Acquire))
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Empties the table, reallocating only if the current capacity cannot

@@ -80,3 +80,75 @@ proptest! {
         prop_assert_eq!(total, keys.len() as f64 * 0.5);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dense-mode and sparse-mode `MassMap` must agree with each other
+    /// (and with a `HashMap` model) under arbitrary op sequences:
+    /// identical `get`s, identical `entries_sorted`, identical mass.
+    #[test]
+    fn mass_map_dense_and_sparse_modes_agree(ops in ops()) {
+        use lgc_sparse::MassMap;
+        let pool = Pool::new(2);
+        let universe = 96usize;
+        let dense = MassMap::with_dense_fraction(universe, 64, 0.0);
+        let sparse = MassMap::with_dense_fraction(universe, 64, f64::INFINITY);
+        assert!(dense.is_dense() && !sparse.is_dense());
+        let mut model: HashMap<u32, f64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Add(k, v) => {
+                    dense.add(k, v);
+                    sparse.add(k, v);
+                    *model.entry(k).or_insert(0.0) += v;
+                }
+                Op::Set(k, v) => {
+                    dense.set(k, v);
+                    sparse.set(k, v);
+                    model.insert(k, v);
+                }
+                Op::Get(k) => {
+                    let want = model.get(&k).copied().unwrap_or(0.0);
+                    prop_assert_eq!(dense.get(k), want);
+                    prop_assert_eq!(sparse.get(k), want);
+                }
+            }
+        }
+        prop_assert_eq!(dense.len(), model.len());
+        prop_assert_eq!(sparse.len(), model.len());
+        let de = dense.entries_sorted(&pool);
+        let se = sparse.entries_sorted(&pool);
+        prop_assert_eq!(&de, &se, "modes must enumerate identically");
+        let mut want: Vec<(u32, f64)> = model.into_iter().collect();
+        want.sort_unstable_by_key(|&(k, _)| k);
+        prop_assert_eq!(de, want);
+    }
+
+    /// Concurrent dense-mode accumulation is exact (no lost updates) and
+    /// the dirty list neither drops nor duplicates keys under contention.
+    #[test]
+    fn mass_map_dense_concurrent_adds_are_exact(
+        keys in prop::collection::vec(0u32..48, 1..2000),
+        t in 1usize..=4,
+    ) {
+        use lgc_sparse::MassMap;
+        let pool = Pool::new(t);
+        let map = MassMap::with_dense_fraction(48, 48, 0.0);
+        pool.run(keys.len(), 7, |s, e| {
+            for &k in &keys[s..e] {
+                map.add(k, 0.5);
+            }
+        });
+        let mut model: HashMap<u32, f64> = HashMap::new();
+        for &k in &keys {
+            *model.entry(k).or_insert(0.0) += 0.5;
+        }
+        prop_assert_eq!(map.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(map.get(k), v);
+        }
+        let total: f64 = map.entries(&pool).iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(total, keys.len() as f64 * 0.5);
+    }
+}

@@ -90,3 +90,56 @@ proptest! {
         prop_assert!((direct - res.conductance).abs() < 1e-9 || (direct.is_infinite() && res.conductance.is_infinite()));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The adaptive mass store must be invisible to the algorithm:
+    /// PR-Nibble with dense-pinned and sparse-pinned `MassMap`s returns
+    /// identical sorted vectors and conserves mass in both modes (and in
+    /// the adaptive default).
+    #[test]
+    fn prnibble_dense_and_sparse_mass_maps_agree(
+        (g, v) in small_graph(),
+        alpha in 0.01f64..0.5,
+        threads in 1usize..=3,
+    ) {
+        let pool = Pool::new(threads);
+        let run = |dense_frac: f64| {
+            let params = lgc::PrNibbleParams {
+                alpha,
+                eps: 1e-5,
+                dense_frac,
+                ..Default::default()
+            };
+            lgc::prnibble_par(&pool, &g, &Seed::single(v), &params)
+        };
+        let dense = run(0.0);            // every vector direct-indexed
+        let sparse = run(f64::INFINITY); // every vector hash-backed
+        let adaptive = run(lgc::PrNibbleParams::default().dense_frac);
+        // Mass conservation must hold in every mode at every thread
+        // count; the discrete comparisons below are gated on a single
+        // thread, where runs are fully deterministic. (At threads > 1
+        // the scheduler-dependent f64 accumulation order can move a
+        // residual across the eps·d(v) threshold by an ulp, legitimately
+        // changing push counts between backends.)
+        for d in [&dense, &sparse, &adaptive] {
+            prop_assert!((d.total_mass() + d.stats.residual_mass - 1.0).abs() < 1e-9);
+        }
+        if threads == 1 {
+            prop_assert_eq!(dense.stats.pushes, sparse.stats.pushes);
+            prop_assert_eq!(dense.stats.iterations, sparse.stats.iterations);
+            prop_assert_eq!(dense.support_size(), sparse.support_size());
+            prop_assert_eq!(adaptive.support_size(), sparse.support_size());
+            for ((&(va, ma), &(vb, mb)), &(vc, mc)) in
+                dense.p.iter().zip(&sparse.p).zip(&adaptive.p)
+            {
+                prop_assert_eq!(va, vb);
+                prop_assert_eq!(va, vc);
+                let scale = ma.abs().max(1.0);
+                prop_assert!((ma - mb).abs() <= 1e-12 * scale, "v{}: {} vs {}", va, ma, mb);
+                prop_assert!((ma - mc).abs() <= 1e-12 * scale, "v{}: {} vs {}", va, ma, mc);
+            }
+        }
+    }
+}
