@@ -8,10 +8,14 @@
 //!     --baseline BENCH_baseline.json --reps 3
 //! ```
 //!
-//! For every suite graph and each of Nibble / PR-Nibble / HK-PR it times
-//! the sequential algorithm and the parallel one at 1, 2, and 4 threads
-//! (best-of-`reps` wall-clock). With `--baseline FILE` the previous
-//! recording is embedded in the output together with per-row speedups,
+//! For every suite graph and each of Nibble / PR-Nibble / HK-PR — plus an
+//! NCP scan, the paper's high-volume workload — it times the sequential
+//! algorithm, the **push-only** parallel one (the pre-direction-
+//! optimization engine, `DirectionParams::push_only()`), and the
+//! **direction-optimized** parallel one, at 1, 2, and 4 threads
+//! (best-of-`reps` wall-clock). The `dir_vs_push` section reports the
+//! within-run speedup of direction optimization; with `--baseline FILE`
+//! the previous recording is embedded together with per-row speedups,
 //! which is how a PR documents its measured improvement.
 //!
 //! The emitter keeps each result object on its own line; the `--baseline`
@@ -21,6 +25,7 @@
 use lgc_bench::{suite, suite_seed, time_best_of, SuiteGraph};
 use lgc_core as lgc;
 use lgc_core::Seed;
+use lgc_ligra::DirectionParams;
 use lgc_parallel::Pool;
 use std::fmt::Write as _;
 
@@ -30,7 +35,10 @@ struct Row {
     graph: String,
     algorithm: &'static str,
     seq_s: f64,
+    /// Direction-optimized parallel times (the default configuration).
     par_s: [f64; THREADS.len()],
+    /// Push-pinned parallel times (absent in pre-direction baselines).
+    push_s: Option<[f64; THREADS.len()]>,
 }
 
 impl Row {
@@ -44,6 +52,11 @@ impl Row {
         );
         for (t, secs) in THREADS.iter().zip(self.par_s) {
             let _ = write!(s, ", \"par{t}_s\": {secs:.6}");
+        }
+        if let Some(push_s) = self.push_s {
+            for (t, secs) in THREADS.iter().zip(push_s) {
+                let _ = write!(s, ", \"push{t}_s\": {secs:.6}");
+            }
         }
         s.push('}');
         s
@@ -60,21 +73,34 @@ impl Row {
         for (slot, t) in par_s.iter_mut().zip(THREADS) {
             *slot = field(&format!("par{t}_s"))?.parse().ok()?;
         }
+        let mut push_s = [0.0; THREADS.len()];
+        let push_s = THREADS
+            .iter()
+            .zip(push_s.iter_mut())
+            .all(|(t, slot)| {
+                field(&format!("push{t}_s"))
+                    .and_then(|v| v.parse().ok())
+                    .map(|v| *slot = v)
+                    .is_some()
+            })
+            .then_some(push_s);
         Some(Row {
             graph: field("graph")?.to_string(),
             algorithm: match field("algorithm")? {
                 "nibble" => "nibble",
                 "prnibble" => "prnibble",
                 "hkpr" => "hkpr",
+                "ncp" => "ncp",
                 _ => return None,
             },
             seq_s: field("seq_s")?.parse().ok()?,
             par_s,
+            push_s,
         })
     }
 }
 
-fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize) -> Vec<Row> {
+fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec<Row> {
     let g = &sg.graph;
     let seed = Seed::single(suite_seed(g));
     let mut rows = Vec::new();
@@ -82,6 +108,7 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize) -> Vec<Row> {
     let nb = lgc::NibbleParams {
         t_max: 20,
         eps: 1e-7,
+        ..Default::default()
     };
     let pr = lgc::PrNibbleParams {
         alpha: 0.01,
@@ -92,26 +119,45 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize) -> Vec<Row> {
         t: 10.0,
         n_levels: 20,
         eps: 1e-6,
+        ..Default::default()
+    };
+    // A small NCP scan (§4): many PR-Nibble + sweep runs whose larger-ε
+    // grid points spend most of their time in the high-volume regime.
+    let ncp = lgc::NcpParams {
+        num_seeds: if quick { 2 } else { 4 },
+        alphas: vec![0.05],
+        epsilons: vec![1e-4, 1e-5],
+        rng_seed: 7,
+        ..Default::default()
     };
 
-    let mut row = |algorithm: &'static str, seq: &dyn Fn(), par: &dyn Fn(&Pool)| {
+    // `None` = the algorithm's own (tuned) default direction params;
+    // `Some(push_only)` = the pre-direction-optimization engine.
+    let mut row = |algorithm: &'static str,
+                   seq: &dyn Fn(),
+                   par: &dyn Fn(&Pool, Option<DirectionParams>)| {
         let (_, seq_s) = time_best_of(reps, seq);
         let mut par_s = [0.0; THREADS.len()];
-        for (slot, pool) in par_s.iter_mut().zip(pools) {
-            let (_, secs) = time_best_of(reps, || par(pool));
-            *slot = secs;
+        let mut push_s = [0.0; THREADS.len()];
+        for ((dir_slot, push_slot), pool) in par_s.iter_mut().zip(push_s.iter_mut()).zip(pools) {
+            let (_, secs) = time_best_of(reps, || par(pool, None));
+            *dir_slot = secs;
+            let (_, secs) = time_best_of(reps, || par(pool, Some(DirectionParams::push_only())));
+            *push_slot = secs;
         }
         eprintln!(
-            "  {:<10} seq {:>8.1}ms  par {:?}ms",
+            "  {:<10} seq {:>8.1}ms  dir {:?}ms  push {:?}ms",
             algorithm,
             seq_s * 1e3,
-            par_s.map(|s| (s * 1e4).round() / 10.0)
+            par_s.map(|s| (s * 1e4).round() / 10.0),
+            push_s.map(|s| (s * 1e4).round() / 10.0)
         );
         rows.push(Row {
             graph: sg.name.to_string(),
             algorithm,
             seq_s,
             par_s,
+            push_s: Some(push_s),
         });
     };
 
@@ -120,8 +166,9 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize) -> Vec<Row> {
         &|| {
             lgc::nibble_seq(g, &seed, &nb);
         },
-        &|pool| {
-            lgc::nibble_par(pool, g, &seed, &nb);
+        &|pool, dir| {
+            let dir = dir.unwrap_or(nb.dir);
+            lgc::nibble_par(pool, g, &seed, &lgc::NibbleParams { dir, ..nb });
         },
     );
     row(
@@ -129,8 +176,9 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize) -> Vec<Row> {
         &|| {
             lgc::prnibble_seq(g, &seed, &pr);
         },
-        &|pool| {
-            lgc::prnibble_par(pool, g, &seed, &pr);
+        &|pool, dir| {
+            let dir = dir.unwrap_or(pr.dir);
+            lgc::prnibble_par(pool, g, &seed, &lgc::PrNibbleParams { dir, ..pr });
         },
     );
     row(
@@ -138,8 +186,20 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize) -> Vec<Row> {
         &|| {
             lgc::hkpr_seq(g, &seed, &hk);
         },
-        &|pool| {
-            lgc::hkpr_par(pool, g, &seed, &hk);
+        &|pool, dir| {
+            let dir = dir.unwrap_or(hk.dir);
+            lgc::hkpr_par(pool, g, &seed, &lgc::HkprParams { dir, ..hk });
+        },
+    );
+    let seq_pool = Pool::sequential();
+    row(
+        "ncp",
+        &|| {
+            lgc::ncp_prnibble(&seq_pool, g, &ncp);
+        },
+        &|pool, dir| {
+            let dir = dir.unwrap_or(ncp.dir);
+            lgc::ncp_prnibble(pool, g, &lgc::NcpParams { dir, ..ncp.clone() });
         },
     );
     rows
@@ -198,7 +258,7 @@ fn main() {
             sg.graph.num_vertices(),
             sg.graph.num_edges()
         );
-        rows.extend(bench_graph(sg, &pools, reps));
+        rows.extend(bench_graph(sg, &pools, reps, quick));
     }
 
     let mut json = String::new();
@@ -221,6 +281,29 @@ fn main() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(json, "{}{comma}", row.to_json_line());
     }
+    json.push_str("  ],\n");
+    // Within-run effect of direction optimization: push-only time over
+    // direction-optimized time, per thread count (> 1 means the hybrid
+    // traversal won).
+    let _ = writeln!(json, "  \"dir_vs_push\": [");
+    let dir_lines: Vec<String> = rows
+        .iter()
+        .filter_map(|row| {
+            let push_s = row.push_s?;
+            let mut s = String::new();
+            let _ = write!(
+                s,
+                "    {{\"graph\": \"{}\", \"algorithm\": \"{}\"",
+                row.graph, row.algorithm
+            );
+            for (i, t) in THREADS.iter().enumerate() {
+                let _ = write!(s, ", \"par{t}\": {:.3}", push_s[i] / row.par_s[i]);
+            }
+            s.push('}');
+            Some(s)
+        })
+        .collect();
+    let _ = writeln!(json, "{}", dir_lines.join(",\n"));
     json.push_str("  ]");
     if let Some((path, base_rows)) = &baseline {
         json.push_str(",\n");

@@ -30,6 +30,17 @@ pub struct HkprParams {
     pub n_levels: usize,
     /// Accuracy `ε` of the approximation (admission threshold scale).
     pub eps: f64,
+    /// Direction-optimization knob for [`hkpr_par`]'s per-level
+    /// `edgeMap`: pull once `|frontier| + vol(frontier)` crosses the
+    /// dense threshold.
+    ///
+    /// Defaults to `dense_denom = 2`: HK-PR's level frontiers are either
+    /// tiny (admission threshold not met) or graph-spanning, so the
+    /// crossover is insensitive between `m/20` and `m` on the power-law
+    /// suite (3–4× pull wins either way), but `m/2` also keeps mesh
+    /// levels — above `m/20` yet far from spanning — on the push path
+    /// where they belong.
+    pub dir: lgc_ligra::DirectionParams,
 }
 
 impl Default for HkprParams {
@@ -39,6 +50,10 @@ impl Default for HkprParams {
             t: 10.0,
             n_levels: 20,
             eps: 1e-7,
+            dir: lgc_ligra::DirectionParams {
+                dense_denom: 2,
+                ..Default::default()
+            },
         }
     }
 }

@@ -10,18 +10,27 @@ use super::HkprParams;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map_indexed, VertexSubset};
-use lgc_parallel::{fill_with_index, filter_map_index, Pool};
+use lgc_ligra::{
+    edge_map_dense, edge_map_dense_gather, edge_map_indexed, Direction, Frontier, VertexSubset,
+};
+use lgc_parallel::{map_index, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
 
 /// Parallel deterministic heat-kernel PageRank.
 /// Work `O(N² + N·e^t/ε)`, depth `O(N·t·log(1/ε))` w.h.p. (Theorem 4).
 ///
 /// The per-source push value is constant across a source's edges, so each
-/// iteration precomputes a frontier-indexed `contrib` slice (one residual
-/// lookup + division per frontier vertex, fused with the UpdateSelf pass)
-/// and [`edge_map_indexed`] reduces the per-edge work to a slice load +
-/// atomic add. Mass vectors are adaptive [`MassMap`]s.
+/// iteration precomputes the contributions in one pass fused with
+/// UpdateSelf (one residual lookup + division per frontier vertex). Small
+/// levels push them with [`edge_map_indexed`] (slice load + atomic add
+/// per edge); levels whose `|F| + vol(F)` crosses the dense threshold
+/// (`params.dir`) *pull* instead — every vertex gathers its frontier
+/// in-neighbors' contributions with plain single-writer writes in
+/// ascending source order, which keeps the level-synchronous update set
+/// (and hence Theorem 4's bit-equality with the sequential algorithm)
+/// intact while dropping all per-edge atomics. The next level's frontier
+/// is filtered directly off `r_next`'s backend. Mass vectors are
+/// adaptive [`MassMap`]s.
 pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
     params.validate();
     let n = g.num_vertices();
@@ -37,7 +46,8 @@ pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Dif
     let mut p = MassMap::new(n, 16);
     // Level-0 entries are enqueued unconditionally, like the sequential
     // algorithm's initial queue.
-    let mut frontier = VertexSubset::from_sorted(seed.vertices().to_vec());
+    let mut frontier = Frontier::from_subset(VertexSubset::from_sorted(seed.vertices().to_vec()));
+    let mut contrib_dense: Vec<f64> = Vec::new();
 
     let mut j = 0usize;
     while !frontier.is_empty() {
@@ -48,75 +58,121 @@ pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Dif
         stats.pushed_volume += vol as u64;
         stats.edges_traversed += vol as u64;
         let last_round = j + 1 == n_levels;
+        let dir = params.dir.choose(g, k, vol);
 
-        // UpdateSelf: bank the level-j residual; in the same indexed pass
+        // UpdateSelf: bank the level-j residual; in the same pass
         // precompute each source's per-neighbor contribution — `r/d` for
         // the final flush, `t·r/((j+1)·d)` otherwise (evaluated exactly
         // as the per-edge code used to, for bit-identical results).
+        // Frontier-indexed for push, vertex-indexed for pull (slots
+        // outside the current frontier are gated off by the bitset).
         p.reserve_rehash(pool, p.len() + k);
-        let mut contrib = vec![0.0f64; k];
+        let mut contrib = Vec::new();
+        if dir == Direction::Push {
+            contrib.resize(k, 0.0f64);
+        } else if contrib_dense.len() < n {
+            contrib_dense.resize(n, 0.0);
+        }
         {
             let ids = frontier.ids();
             let (p_ref, r_ref) = (&p, &r);
             let scale = params.t / (j + 1) as f64;
-            fill_with_index(pool, &mut contrib, |i| {
-                let v = ids[i];
-                let rv = r_ref.get(v);
-                p_ref.add(v, rv);
-                let d = g.degree(v);
-                if d == 0 {
-                    0.0
-                } else if last_round {
-                    rv / d as f64
-                } else {
-                    scale * rv / d as f64
+            let contrib_view = UnsafeSlice::new(&mut contrib[..]);
+            let dense_view = UnsafeSlice::new(&mut contrib_dense[..]);
+            pool.run(k, 256, |s, e| {
+                #[allow(clippy::needless_range_loop)]
+                for i in s..e {
+                    let v = ids[i];
+                    let rv = r_ref.get(v);
+                    p_ref.add(v, rv);
+                    let d = g.degree(v);
+                    let c = if d == 0 {
+                        0.0
+                    } else if last_round {
+                        rv / d as f64
+                    } else {
+                        scale * rv / d as f64
+                    };
+                    // SAFETY: disjoint indices (i and the distinct v).
+                    unsafe {
+                        match dir {
+                            Direction::Push => contrib_view.write(i, c),
+                            Direction::Pull => dense_view.write(v as usize, c),
+                        }
+                    }
                 }
             });
         }
 
         if last_round {
-            // Last round: flush neighbor shares straight into p.
+            // Last round: flush neighbor shares straight into p. The
+            // pull flush uses per-edge plain adds so every p cell
+            // accumulates in the same (ascending-source) order as the
+            // push engine at one thread — bit-equal results.
             p.reserve_rehash(pool, p.len() + vol);
             let p_ref = &p;
-            let contrib = &contrib;
-            edge_map_indexed(pool, g, &frontier, |i, _src, dst| {
-                p_ref.add(dst, contrib[i]);
-            });
+            match dir {
+                Direction::Push => {
+                    let contrib = &contrib;
+                    edge_map_indexed(pool, g, frontier.subset(), |i, _src, dst| {
+                        p_ref.add(dst, contrib[i]);
+                    });
+                }
+                Direction::Pull => {
+                    let bits = frontier.bits(pool, n);
+                    let contrib_dense = &contrib_dense[..];
+                    edge_map_dense(pool, g, bits, |src, dst| {
+                        p_ref.add_exclusive(dst, contrib_dense[src as usize]);
+                    });
+                }
+            }
             break;
         }
 
         // UpdateNgh: forward t·r/((j+1)·d) to level j+1. Only edge
-        // destinations land here, so vol bounds the touched keys.
+        // destinations land here, so vol bounds the touched keys. Pull
+        // gathers each destination's sum in a register (fresh cells, so
+        // the bracketing matches the per-edge order exactly).
         r_next.reset(pool, vol.max(1));
         {
             let next_ref = &r_next;
-            let contrib = &contrib;
-            edge_map_indexed(pool, g, &frontier, |i, _src, dst| {
-                next_ref.add(dst, contrib[i]);
-            });
+            match dir {
+                Direction::Push => {
+                    let contrib = &contrib;
+                    edge_map_indexed(pool, g, frontier.subset(), |i, _src, dst| {
+                        next_ref.add(dst, contrib[i]);
+                    });
+                }
+                Direction::Pull => {
+                    let bits = frontier.bits(pool, n);
+                    edge_map_dense_gather(pool, g, bits, &contrib_dense, |dst, sum| {
+                        next_ref.add_exclusive(dst, sum);
+                    });
+                }
+            }
         }
 
         // Next frontier: level-(j+1) entries above the admission
         // threshold (equivalent to the sequential crossing test because
-        // the accumulation is monotone).
-        let touched = r_next.entries(pool);
-        let above = filter_map_index(pool, touched.len(), |i| {
-            let (w, m) = touched[i];
-            (m >= params.threshold(&psi, j + 1, g.degree(w))).then_some(w)
-        });
-        frontier = VertexSubset::from_unsorted(above);
+        // the accumulation is monotone), filtered directly off the mass
+        // store's backend.
+        let above =
+            r_next.filter_keys(pool, |w, m| m >= params.threshold(&psi, j + 1, g.degree(w)));
+        frontier.advance(pool, VertexSubset::from_distinct_unsorted_par(pool, above));
         std::mem::swap(&mut r, &mut r_next);
         j += 1;
     }
 
     // Same e^{−t} normalization as the sequential version (see there).
     let scale = (-params.t).exp();
-    let entries: Vec<(u32, f64)> = p
-        .entries(pool)
-        .into_iter()
-        .map(|(v, m)| (v, m * scale))
-        .collect();
-    let mut d = Diffusion::from_entries(entries, stats);
+    let entries: Vec<(u32, f64)> = {
+        let packed = p.entries(pool);
+        map_index(pool, packed.len(), |i| {
+            let (v, m) = packed[i];
+            (v, m * scale)
+        })
+    };
+    let mut d = Diffusion::from_entries_par(pool, entries, stats);
     d.stats.residual_mass = (1.0 - d.total_mass()).max(0.0);
     d
 }
@@ -143,6 +199,7 @@ mod tests {
             t: 2.0,
             n_levels: 5,
             eps: 1e-8,
+            ..Default::default()
         };
         let a = hkpr_seq(&g, &Seed::single(0), &params);
         let pool = Pool::new(1);
@@ -158,6 +215,7 @@ mod tests {
             t: 8.0,
             n_levels: 15,
             eps: 1e-6,
+            ..Default::default()
         };
         let a = hkpr_seq(&g, &seed, &params);
         for threads in [1, 2, 4] {
@@ -179,6 +237,7 @@ mod tests {
             t: 10.0,
             n_levels: 8,
             eps: 1e-9,
+            ..Default::default()
         };
         let d = hkpr_par(&pool, &g, &Seed::single(0), &params);
         assert!(d.stats.iterations <= 8);
@@ -198,6 +257,7 @@ mod tests {
                 t,
                 n_levels: 1,
                 eps: 1e-9,
+                ..Default::default()
             },
         );
         let s = (-t).exp();
@@ -218,6 +278,7 @@ mod tests {
                 t: 2.0,
                 n_levels: 6,
                 eps: 1e-7,
+                ..Default::default()
             },
         );
         // Symmetry: masses around each seed mirror each other.

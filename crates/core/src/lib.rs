@@ -69,6 +69,10 @@ pub use result::{ClusterResult, Diffusion, DiffusionStats};
 pub use seed::Seed;
 pub use sweep::{sweep_cut_par, sweep_cut_seq, SweepCut};
 
+// The direction-optimization knob carried by the diffusion param structs,
+// re-exported so callers can configure it without a direct lgc-ligra dep.
+pub use lgc_ligra::{Direction, DirectionMode, DirectionParams};
+
 use lgc_graph::Graph;
 use lgc_parallel::Pool;
 

@@ -26,6 +26,11 @@ pub struct NcpParams {
     pub epsilons: Vec<f64>,
     /// RNG seed for choosing the diffusion seeds.
     pub rng_seed: u64,
+    /// Direction-optimization knob forwarded to every PR-Nibble run —
+    /// NCP scans over loose `ε` grid points are exactly the large-support
+    /// workload where the dense pull traversal pays off. Defaults to
+    /// PR-Nibble's measured threshold.
+    pub dir: lgc_ligra::DirectionParams,
 }
 
 impl Default for NcpParams {
@@ -35,6 +40,7 @@ impl Default for NcpParams {
             alphas: vec![0.1, 0.01],
             epsilons: vec![1e-4, 1e-5, 1e-6],
             rng_seed: 7,
+            dir: crate::PrNibbleParams::default().dir,
         }
     }
 }
@@ -79,6 +85,7 @@ pub fn ncp_prnibble(pool: &Pool, g: &Graph, params: &NcpParams) -> Vec<NcpPoint>
                     eps,
                     rule: PushRule::Optimized,
                     beta: 1.0,
+                    dir: params.dir,
                     ..Default::default()
                 };
                 let d = prnibble_par(pool, g, &Seed::single(seed), &p);
@@ -125,6 +132,7 @@ mod tests {
             alphas: vec![0.05],
             epsilons: vec![1e-5, 1e-6],
             rng_seed: 1,
+            ..Default::default()
         };
         let points = ncp_prnibble(&pool, &g, &params);
         assert!(!points.is_empty());
@@ -153,6 +161,7 @@ mod tests {
             alphas: vec![0.1],
             epsilons: vec![1e-4],
             rng_seed: 2,
+            ..Default::default()
         };
         let points = ncp_prnibble(&pool, &g, &params);
         assert!(points.windows(2).all(|w| w[0].size < w[1].size));
@@ -168,6 +177,7 @@ mod tests {
             alphas: vec![0.1],
             epsilons: vec![1e-4],
             rng_seed: 11,
+            ..Default::default()
         };
         let a = ncp_prnibble(&pool, &g, &params);
         let b = ncp_prnibble(&pool, &g, &params);

@@ -15,8 +15,10 @@
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map_indexed, VertexSubset};
-use lgc_parallel::{fill_with_index, Pool};
+use lgc_ligra::{
+    edge_map_dense, edge_map_indexed, Direction, DirectionParams, Frontier, VertexSubset,
+};
+use lgc_parallel::{fill_with_index, Pool, UnsafeSlice};
 use lgc_sparse::{MassMap, SparseVec};
 
 /// Parameters for Nibble.
@@ -27,6 +29,16 @@ pub struct NibbleParams {
     /// Truncation threshold `ε` (a vertex stays active while
     /// `p[v] ≥ ε·d(v)`). Smaller ε explores more of the graph.
     pub eps: f64,
+    /// Direction-optimization knob for [`nibble_par`]'s per-iteration
+    /// `edgeMap`: pull once `|frontier| + vol(frontier)` crosses the
+    /// dense threshold.
+    ///
+    /// Defaults to `dense_denom = 1` (pull only when the frontier edge
+    /// space rivals `m`): the lazy-walk gather has no early exit, so the
+    /// BFS-tuned `m/20` switches too eagerly — measured on the suite,
+    /// `m/1` keeps the ~2× pull wins on the social-network stand-ins
+    /// while capping the mesh/randLocal mispredict at noise level.
+    pub dir: DirectionParams,
 }
 
 impl Default for NibbleParams {
@@ -35,6 +47,10 @@ impl Default for NibbleParams {
         NibbleParams {
             t_max: 20,
             eps: 1e-8,
+            dir: DirectionParams {
+                dense_denom: 1,
+                ..Default::default()
+            },
         }
     }
 }
@@ -85,20 +101,28 @@ pub fn nibble_seq(g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
         if next.is_empty() {
             // Frontier died: return the *previous* vector (line 15 of
             // Figure 3 breaks before `p = p'`).
-            return finish(p.entries_sorted(), stats);
+            return finish_seq(p.entries_sorted(), stats);
         }
         p = p_new;
         frontier = next;
     }
-    finish(p.entries_sorted(), stats)
+    finish_seq(p.entries_sorted(), stats)
 }
 
 /// Parallel Nibble (Figure 3): one fused self-update/contribution pass +
-/// indexed `edgeMap` + filter per iteration; mass vectors in adaptive
-/// [`MassMap`]s (sparse hash tables that upgrade to direct-indexed dense
-/// arrays once the per-iteration touch bound is a constant fraction of
-/// `n`). The per-edge work is a slice load + atomic add: each frontier
-/// vertex's spread share `p[v]/(2·d(v))` is computed once, not per edge.
+/// direction-optimized `edgeMap` + filter per iteration; mass vectors in
+/// adaptive [`MassMap`]s (sparse hash tables that upgrade to
+/// direct-indexed dense arrays once the per-iteration touch bound is a
+/// constant fraction of `n`).
+///
+/// Each frontier vertex's spread share `p[v]/(2·d(v))` is computed once,
+/// not per edge. Small frontiers push it along their out-edges (one
+/// slice load + atomic add per edge); once `|F| + vol(F)` crosses the
+/// dense threshold the iteration *pulls*: every vertex scans its
+/// neighbors against the frontier bitset and accumulates the incoming
+/// shares with plain single-writer stores — no atomics, and bit-equal to
+/// the sequential update order. The next frontier is filtered straight
+/// off `p_new`'s backend (no intermediate entries vector).
 pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
     let eps = params.eps;
     let n = g.num_vertices();
@@ -108,8 +132,9 @@ pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) ->
     for &x in seed.vertices() {
         p.set(x, seed.mass_per_vertex());
     }
-    let mut frontier = VertexSubset::from_sorted(active_seed(g, seed, eps));
+    let mut frontier = Frontier::from_subset(VertexSubset::from_sorted(active_seed(g, seed, eps)));
     let mut p_new = MassMap::new(n, 16);
+    let mut share_dense: Vec<f64> = Vec::new();
 
     for _ in 0..params.t_max {
         if frontier.is_empty() {
@@ -122,21 +147,28 @@ pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) ->
         stats.pushed_volume += vol as u64;
         stats.edges_traversed += vol as u64;
 
-        lazy_walk_step(pool, g, &frontier, k, vol, &p, &mut p_new);
+        lazy_walk_step(
+            pool,
+            g,
+            &mut frontier,
+            k,
+            vol,
+            &p,
+            &mut p_new,
+            &params.dir,
+            &mut share_dense,
+        );
 
-        // Frontier = {v : p'[v] ≥ ε·d(v)} over the touched vertices.
-        let touched = p_new.entries(pool);
-        let above = lgc_parallel::filter_map_index(pool, touched.len(), |i| {
-            let (v, m) = touched[i];
-            (m >= eps * g.degree(v) as f64).then_some(v)
-        });
+        // Frontier = {v : p'[v] ≥ ε·d(v)}, filtered directly over the
+        // mass store's backend.
+        let above = p_new.filter_keys(pool, |v, m| m >= eps * g.degree(v) as f64);
         if above.is_empty() {
-            return finish(p.entries(pool), stats);
+            return finish(pool, p.entries(pool), stats);
         }
-        frontier = VertexSubset::from_unsorted(above);
+        frontier.advance(pool, VertexSubset::from_distinct_unsorted_par(pool, above));
         std::mem::swap(&mut p, &mut p_new);
     }
-    finish(p.entries(pool), stats)
+    finish(pool, p.entries(pool), stats)
 }
 
 /// The *original* Spielman–Teng Nibble loop (§3.2 before the paper's
@@ -161,8 +193,9 @@ pub fn nibble_with_target_par(
     for &x in seed.vertices() {
         p.set(x, seed.mass_per_vertex());
     }
-    let mut frontier = VertexSubset::from_sorted(active_seed(g, seed, eps));
+    let mut frontier = Frontier::from_subset(VertexSubset::from_sorted(active_seed(g, seed, eps)));
     let mut p_new = MassMap::new(n, 16);
+    let mut share_dense: Vec<f64> = Vec::new();
 
     for _ in 0..params.t_max {
         if frontier.is_empty() {
@@ -170,7 +203,17 @@ pub fn nibble_with_target_par(
         }
         let k = frontier.len();
         let vol = frontier.volume(g);
-        lazy_walk_step(pool, g, &frontier, k, vol, &p, &mut p_new);
+        lazy_walk_step(
+            pool,
+            g,
+            &mut frontier,
+            k,
+            vol,
+            &p,
+            &mut p_new,
+            &params.dir,
+            &mut share_dense,
+        );
 
         // Per-iteration sweep: stop at the first below-target cluster.
         let entries = p_new.entries(pool);
@@ -186,7 +229,7 @@ pub fn nibble_with_target_par(
         if above.is_empty() {
             return None;
         }
-        frontier = VertexSubset::from_unsorted(above);
+        frontier.advance(pool, VertexSubset::from_unsorted(above));
         std::mem::swap(&mut p, &mut p_new);
     }
     None
@@ -195,41 +238,83 @@ pub fn nibble_with_target_par(
 /// One parallel lazy-walk spread: resets `p_new` for this iteration's
 /// touch bound (`k + vol`), banks every frontier vertex's kept half
 /// (UpdateSelf) while precomputing its per-neighbor share
-/// `p[v]/(2·d(v))`, then spreads the shares with the frontier-indexed
-/// edge map (UpdateNgh) — one slice load + atomic add per edge.
+/// `p[v]/(2·d(v))`, then spreads the shares with the direction-optimized
+/// edge map (UpdateNgh).
+///
+/// Push: frontier-indexed engine, one slice load + atomic add per edge.
+/// Pull: shares are scattered into a vertex-indexed slice (`share_dense`,
+/// recycled across iterations — stale entries outside the current
+/// frontier are never read because the bitset gates them), then every
+/// destination drains its frontier in-neighbors in ascending source
+/// order with plain single-writer adds, reproducing the sequential
+/// accumulation order bit-for-bit.
+#[allow(clippy::too_many_arguments)]
 fn lazy_walk_step(
     pool: &Pool,
     g: &Graph,
-    frontier: &VertexSubset,
+    frontier: &mut Frontier,
     k: usize,
     vol: usize,
     p: &MassMap,
     p_new: &mut MassMap,
+    dir: &DirectionParams,
+    share_dense: &mut Vec<f64>,
 ) {
+    let n = g.num_vertices();
     p_new.reset(pool, k + vol);
-    let mut share = vec![0.0f64; k];
-    {
-        let ids = frontier.ids();
-        let (p_ref, p_new_ref) = (p, &*p_new);
-        fill_with_index(pool, &mut share, |i| {
-            let v = ids[i];
-            let pv = p_ref.get(v);
-            p_new_ref.add(v, pv / 2.0);
-            // Degree-0 vertices never reach the frontier in practice
-            // (they spread nothing); guard the division anyway.
-            let d = g.degree(v);
-            if d == 0 {
-                0.0
-            } else {
-                pv / (2.0 * d as f64)
+    let per_vertex_share = |v: u32| {
+        // Degree-0 vertices never reach the frontier in practice
+        // (they spread nothing); guard the division anyway.
+        let pv = p.get(v);
+        let d = g.degree(v);
+        if d == 0 {
+            0.0
+        } else {
+            pv / (2.0 * d as f64)
+        }
+    };
+    match dir.choose(g, k, vol) {
+        Direction::Push => {
+            let mut share = vec![0.0f64; k];
+            {
+                let ids = frontier.ids();
+                let (p_ref, p_new_ref) = (p, &*p_new);
+                fill_with_index(pool, &mut share, |i| {
+                    let v = ids[i];
+                    p_new_ref.add(v, p_ref.get(v) / 2.0);
+                    per_vertex_share(v)
+                });
             }
-        });
+            let p_new_ref = &*p_new;
+            let share = &share;
+            edge_map_indexed(pool, g, frontier.subset(), |i, _src, dst| {
+                p_new_ref.add(dst, share[i]);
+            });
+        }
+        Direction::Pull => {
+            if share_dense.len() < n {
+                share_dense.resize(n, 0.0);
+            }
+            {
+                let ids = frontier.ids();
+                let (p_ref, p_new_ref) = (p, &*p_new);
+                let view = UnsafeSlice::new(&mut share_dense[..]);
+                pool.run(k, 256, |s, e| {
+                    for &v in &ids[s..e] {
+                        p_new_ref.add(v, p_ref.get(v) / 2.0);
+                        // SAFETY: frontier ids are distinct.
+                        unsafe { view.write(v as usize, per_vertex_share(v)) };
+                    }
+                });
+            }
+            let bits = frontier.bits(pool, n);
+            let p_new_ref = &*p_new;
+            let share_dense = &share_dense[..];
+            edge_map_dense(pool, g, bits, |src, dst| {
+                p_new_ref.add_exclusive(dst, share_dense[src as usize]);
+            });
+        }
     }
-    let p_new_ref = &*p_new;
-    let share = &share;
-    edge_map_indexed(pool, g, frontier, |i, _src, dst| {
-        p_new_ref.add(dst, share[i]);
-    });
 }
 
 /// The seed vertices that meet the activity threshold initially.
@@ -242,8 +327,16 @@ fn active_seed(g: &Graph, seed: &Seed, eps: f64) -> Vec<u32> {
         .collect()
 }
 
-/// Packages the final vector, recording the truncated mass.
-fn finish(entries: Vec<(u32, f64)>, stats: DiffusionStats) -> Diffusion {
+/// Packages the final vector (parallel sort), recording the truncated
+/// mass.
+fn finish(pool: &Pool, entries: Vec<(u32, f64)>, stats: DiffusionStats) -> Diffusion {
+    let mut d = Diffusion::from_entries_par(pool, entries, stats);
+    d.stats.residual_mass = (1.0 - d.total_mass()).max(0.0);
+    d
+}
+
+/// Packages the sequential algorithm's final vector.
+fn finish_seq(entries: Vec<(u32, f64)>, stats: DiffusionStats) -> Diffusion {
     let mut d = Diffusion::from_entries(entries, stats);
     d.stats.residual_mass = (1.0 - d.total_mass()).max(0.0);
     d
@@ -276,6 +369,7 @@ mod tests {
             &NibbleParams {
                 t_max: 3,
                 eps: 1e-12,
+                ..Default::default()
             },
         );
         assert!(
@@ -294,6 +388,7 @@ mod tests {
             &NibbleParams {
                 t_max: 1,
                 eps: 1e-9,
+                ..Default::default()
             },
         );
         assert_eq!(d.mass_of(0), 0.5);
@@ -309,7 +404,15 @@ mod tests {
         // *before* `p = p'`, returning the previous vector p₀.
         let g = gen::clique(10); // degree 9
         let eps = 0.06; // seed: 1 ≥ 0.54 ✓; after: 0.5 < 0.54, others 1/18 < 0.54
-        let d = nibble_seq(&g, &Seed::single(0), &NibbleParams { t_max: 20, eps });
+        let d = nibble_seq(
+            &g,
+            &Seed::single(0),
+            &NibbleParams {
+                t_max: 20,
+                eps,
+                ..Default::default()
+            },
+        );
         assert_eq!(d.stats.iterations, 1);
         assert_eq!(
             d.p,
@@ -321,7 +424,11 @@ mod tests {
             &pool,
             &g,
             &Seed::single(0),
-            &NibbleParams { t_max: 20, eps },
+            &NibbleParams {
+                t_max: 20,
+                eps,
+                ..Default::default()
+            },
         );
         assert_eq!(dp.p, vec![(0, 1.0)]);
     }
@@ -329,7 +436,11 @@ mod tests {
     #[test]
     fn seed_below_threshold_returns_initial_vector() {
         let g = gen::star(100); // center degree 99
-        let params = NibbleParams { t_max: 5, eps: 0.5 }; // 1 < 0.5·99
+        let params = NibbleParams {
+            t_max: 5,
+            eps: 0.5,
+            ..Default::default()
+        }; // 1 < 0.5·99
         let d = nibble_seq(&g, &Seed::single(0), &params);
         assert_eq!(d.p, vec![(0, 1.0)]);
         assert_eq!(d.stats.iterations, 0);
@@ -344,6 +455,7 @@ mod tests {
         let params = NibbleParams {
             t_max: 10,
             eps: 1e-6,
+            ..Default::default()
         };
         let pool = Pool::new(1);
         let a = nibble_seq(&g, &Seed::single(7), &params);
@@ -358,6 +470,7 @@ mod tests {
         let params = NibbleParams {
             t_max: 12,
             eps: 1e-7,
+            ..Default::default()
         };
         let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
         let a = nibble_seq(&g, &seed, &params);
@@ -380,6 +493,7 @@ mod tests {
             &NibbleParams {
                 t_max: 1,
                 eps: 1e-9,
+                ..Default::default()
             },
         );
         assert_eq!(d.mass_of(0), 0.25);
@@ -395,6 +509,7 @@ mod tests {
         let params = NibbleParams {
             t_max: 40,
             eps: 1e-9,
+            ..Default::default()
         };
         let phi_target = 0.01; // the clique cut has phi = 1/133
         let sweep = nibble_with_target_par(&pool, &g, &Seed::single(0), &params, phi_target)
@@ -413,6 +528,7 @@ mod tests {
         let params = NibbleParams {
             t_max: 10,
             eps: 1e-9,
+            ..Default::default()
         };
         assert!(nibble_with_target_par(&pool, &g, &Seed::single(0), &params, 1e-6).is_none());
     }
@@ -428,6 +544,7 @@ mod tests {
             &NibbleParams {
                 t_max: 5,
                 eps: 1e-4,
+                ..Default::default()
             },
         );
         assert!(d.support_size() < 2000, "support {}", d.support_size());

@@ -15,8 +15,8 @@ use super::PrNibbleParams;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map_indexed, VertexSubset};
-use lgc_parallel::{filter_map_index, Pool, UnsafeSlice};
+use lgc_ligra::{edge_map_dense_gather, edge_map_indexed, Direction, Frontier, VertexSubset};
+use lgc_parallel::{filter_map_index, Bitset, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
 
 /// Parallel PR-Nibble. Work `O(1/(α·ε))` w.h.p. (Theorem 3), regardless
@@ -25,14 +25,26 @@ use lgc_sparse::MassMap;
 /// With `params.beta < 1`, only the top `β`-fraction of eligible vertices
 /// (by `r[v]/d(v)`) is pushed per iteration (§3.3's variant).
 ///
-/// The per-edge work is one slice load + one atomic accumulate: the push
-/// value `cₙ·r[v]/d(v)` is constant per frontier vertex, so it is
-/// precomputed into a frontier-indexed `contrib` slice (one residual
-/// lookup and one division per frontier *vertex*) and the
-/// [`edge_map_indexed`] engine hands every edge its source's frontier
-/// index. Mass vectors live in [`MassMap`]s, which upgrade themselves to
+/// Iterations are *direction-optimized* (`params.dir`):
+///
+/// * **Push** (small frontiers): the push value `cₙ·r[v]/d(v)` is
+///   precomputed into a frontier-indexed `contrib` slice and
+///   [`edge_map_indexed`] reduces the per-edge work to one slice load +
+///   one atomic accumulate into a scratch delta map, committed after the
+///   frontier's self-updates. The next eligible set is tracked
+///   incrementally (old eligibles ∪ delta receivers).
+/// * **Pull** (once `|F| + vol(F)` crosses the dense threshold):
+///   contributions are scattered into a vertex-indexed slice, the
+///   frontier self-residuals are overwritten first, and then every
+///   vertex *gathers* its frontier in-neighbors' contributions in one
+///   register sum — no atomics, no scratch delta map, no intermediate
+///   entries vector — applied directly to `r`, while a receiver bitset
+///   keeps the incremental eligibility rule (old eligibles ∪ receivers)
+///   intact at `O(n/64 + receivers)` extra cost.
+///
+/// Mass vectors live in [`MassMap`]s, which upgrade themselves to
 /// direct-indexed dense arrays once the per-iteration key bound crosses
-/// `params.dense_frac · n`.
+/// `params.dense_frac · n` — the regime pull iterations live in.
 pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
     params.validate();
     let (cp, cr, cn) = params.rule.coefficients(params.alpha);
@@ -47,6 +59,10 @@ pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams
     }
     let mut p = mass_map(16);
     let mut r_delta = mass_map(16);
+    let mut frontier = Frontier::from_subset(VertexSubset::empty());
+    let mut contrib_dense: Vec<f64> = Vec::new();
+    // Allocated on the first pull iteration; always left fully clear.
+    let receiver_bits: std::cell::OnceCell<Bitset> = std::cell::OnceCell::new();
 
     // Eligible = vertices known to satisfy r[v] ≥ ε·d(v) (sorted).
     let mut eligible: Vec<u32> = seed
@@ -58,91 +74,179 @@ pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams
 
     while !eligible.is_empty() {
         stats.iterations += 1;
-        let frontier = select_frontier(g, &r, &eligible, params.beta);
+        frontier.advance(pool, select_frontier(g, &r, &eligible, params.beta));
         let k = frontier.len();
         let vol = frontier.volume(g);
         stats.pushes += k as u64;
         stats.pushed_volume += vol as u64;
         stats.edges_traversed += vol as u64;
+        let dir = params.dir.choose(g, k, vol);
 
         // Phase 1 (read r / write p): bank the α-fraction, remember the
         // post-push self-residuals, and precompute each frontier vertex's
-        // per-neighbor contribution for the indexed edge map.
+        // per-neighbor contribution — frontier-indexed for the push
+        // engine, vertex-indexed for the pull gather (stale slots outside
+        // the current frontier are never read: the bitset gates them).
         p.reserve_rehash(pool, p.len() + k);
         let mut self_new = vec![0.0f64; k];
-        let mut contrib = vec![0.0f64; k];
+        let mut contrib = Vec::new();
+        if dir == Direction::Push {
+            contrib.resize(k, 0.0f64);
+        } else if contrib_dense.len() < n {
+            contrib_dense.resize(n, 0.0);
+        }
         {
             let self_view = UnsafeSlice::new(&mut self_new);
-            let contrib_view = UnsafeSlice::new(&mut contrib);
+            let contrib_view = UnsafeSlice::new(&mut contrib[..]);
+            let dense_view = UnsafeSlice::new(&mut contrib_dense[..]);
             let ids = frontier.ids();
             let (r_ref, p_ref) = (&r, &p);
             pool.run(k, 256, |s, e| {
-                // Global index i addresses `ids` and both output views.
+                // Global index i addresses `ids` and the output views.
                 #[allow(clippy::needless_range_loop)]
                 for i in s..e {
                     let v = ids[i];
                     let rv = r_ref.get(v);
                     p_ref.add(v, cp * rv);
-                    // SAFETY: disjoint indices.
+                    let c = cn * rv / g.degree(v) as f64;
+                    // SAFETY: disjoint indices (i and the distinct v).
                     unsafe {
                         self_view.write(i, cr * rv);
-                        contrib_view.write(i, cn * rv / g.degree(v) as f64);
+                        match dir {
+                            Direction::Push => contrib_view.write(i, c),
+                            Direction::Pull => dense_view.write(v as usize, c),
+                        }
                     }
                 }
             });
         }
 
-        // Phase 2 (write r_delta): neighbor contributions, using
-        // residuals from the start of the iteration — no residual lookup
-        // or division left in the per-edge path. Only edge destinations
-        // land here, so vol bounds the touched keys.
-        r_delta.reset(pool, vol.max(1));
-        {
-            let delta_ref = &r_delta;
-            let contrib = &contrib;
-            edge_map_indexed(pool, g, &frontier, |i, _src, dst| {
-                delta_ref.add(dst, contrib[i]);
-            });
-        }
-
-        // Phase 3 (write r): frontier self-residuals first (overwrite),
-        // then all received contributions (accumulate).
-        {
-            let ids = frontier.ids();
-            let r_ref = &r;
-            pool.run(k, 256, |s, e| {
-                for i in s..e {
-                    r_ref.set(ids[i], self_new[i]);
+        match dir {
+            Direction::Push => {
+                // Phase 2 (write r_delta): neighbor contributions, using
+                // residuals from the start of the iteration — no residual
+                // lookup or division left in the per-edge path. Only edge
+                // destinations land here, so vol bounds the touched keys.
+                r_delta.reset(pool, vol.max(1));
+                {
+                    let delta_ref = &r_delta;
+                    let contrib = &contrib;
+                    edge_map_indexed(pool, g, frontier.subset(), |i, _src, dst| {
+                        delta_ref.add(dst, contrib[i]);
+                    });
                 }
-            });
-        }
-        let deltas = r_delta.entries(pool);
-        r.reserve_rehash(pool, r.len() + deltas.len());
-        {
-            let r_ref = &r;
-            pool.run(deltas.len(), 512, |s, e| {
-                for &(w, dm) in &deltas[s..e] {
-                    r_ref.add(w, dm);
-                }
-            });
-        }
 
-        // Phase 4: the next eligible set can only contain previously
-        // eligible vertices or vertices that just received mass.
-        let mut cands = std::mem::take(&mut eligible);
-        cands.extend(deltas.iter().map(|&(w, _)| w));
-        cands.sort_unstable();
-        cands.dedup();
-        let r_ref = &r;
-        eligible = filter_map_index(pool, cands.len(), |i| {
-            let v = cands[i];
-            let d = g.degree(v);
-            (d > 0 && r_ref.get(v) >= eps * d as f64).then_some(v)
-        });
+                // Phase 3 (write r): frontier self-residuals first
+                // (overwrite), then all received contributions
+                // (accumulate).
+                {
+                    let ids = frontier.ids();
+                    let r_ref = &r;
+                    pool.run(k, 256, |s, e| {
+                        for i in s..e {
+                            r_ref.set(ids[i], self_new[i]);
+                        }
+                    });
+                }
+                let deltas = r_delta.entries(pool);
+                r.reserve_rehash(pool, r.len() + deltas.len());
+                {
+                    let r_ref = &r;
+                    pool.run(deltas.len(), 512, |s, e| {
+                        for &(w, dm) in &deltas[s..e] {
+                            r_ref.add(w, dm);
+                        }
+                    });
+                }
+
+                // Phase 4: the next eligible set can only contain
+                // previously eligible vertices or vertices that just
+                // received mass.
+                let mut cands = std::mem::take(&mut eligible);
+                cands.extend(deltas.iter().map(|&(w, _)| w));
+                cands.sort_unstable();
+                cands.dedup();
+                let r_ref = &r;
+                eligible = filter_map_index(pool, cands.len(), |i| {
+                    let v = cands[i];
+                    let d = g.degree(v);
+                    (d > 0 && r_ref.get(v) >= eps * d as f64).then_some(v)
+                });
+            }
+            Direction::Pull => {
+                // Phase 2/3 fused: self-residuals first (phase 1 already
+                // consumed the old values), then every destination
+                // gathers its incoming contributions in a register and
+                // commits them with one plain single-writer add — no
+                // scratch delta map or entries materialization at all.
+                {
+                    let ids = frontier.ids();
+                    let r_ref = &r;
+                    pool.run(k, 256, |s, e| {
+                        for i in s..e {
+                            r_ref.set(ids[i], self_new[i]);
+                        }
+                    });
+                }
+                r.reserve_rehash(pool, r.len() + vol);
+                let recv = receiver_bits.get_or_init(|| Bitset::new(n));
+                let bits = frontier.bits(pool, n);
+                {
+                    let r_ref = &r;
+                    edge_map_dense_gather(pool, g, bits, &contrib_dense, |dst, sum| {
+                        r_ref.add_exclusive(dst, sum);
+                        recv.insert(dst);
+                    });
+                }
+
+                // Phase 4: same incremental rule as push mode — the next
+                // eligible set ⊆ old eligibles ∪ receivers. The receiver
+                // bitset enumerates (already sorted) in `O(n/64 + len)`,
+                // a vanishing cost next to the `O(n + m)` gather, and the
+                // sorted-merge replaces the sort the push path needs.
+                let receivers = recv.to_sorted_ids(pool);
+                recv.clear_sorted(pool, &receivers);
+                let cands = merge_sorted_distinct(&eligible, &receivers);
+                let r_ref = &r;
+                eligible = filter_map_index(pool, cands.len(), |i| {
+                    let v = cands[i];
+                    let d = g.degree(v);
+                    (d > 0 && r_ref.get(v) >= eps * d as f64).then_some(v)
+                });
+            }
+        }
     }
 
     stats.residual_mass = r.l1_norm(pool);
-    Diffusion::from_entries(p.entries(pool), stats)
+    Diffusion::from_entries_par(pool, p.entries(pool), stats)
+}
+
+/// Merges two sorted duplicate-free id lists into one — `O(a + b)`,
+/// replacing the extend + sort + dedup the push path's candidate
+/// assembly needs.
+fn merge_sorted_distinct(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// Top `β`-fraction of `eligible` by `r[v]/d(v)` (all of it when β = 1).

@@ -72,9 +72,34 @@ impl RandHkprParams {
     }
 }
 
+/// Raw draws buffered per walk block (the whole truncated length in one
+/// refill for the paper's `K = 10` defaults).
+const WALK_RNG_BLOCK: usize = 16;
+
+/// Unbiased index in `[0, span)` from a pre-drawn raw value (Lemire
+/// multiply-shift); the rare rejection falls back to fresh draws.
+#[inline]
+fn pick_below(mut raw: u64, rng: &mut StdRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let m = (raw as u128).wrapping_mul(span as u128);
+        if (m as u64) >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+        raw = rng.next_u64();
+    }
+}
+
 /// One walk: derives its RNG from `(master_seed, walk_index)`, samples a
 /// length from `cdf`, walks uniformly over neighbors. Returns the final
 /// vertex and the number of steps taken.
+///
+/// The per-step randomness is drawn in blocks ([`Rng::fill_u64`], one
+/// refill per [`WALK_RNG_BLOCK`] steps) instead of one generator call per
+/// step, which keeps the generator state hot in registers across the
+/// block — the walk loop's only memory traffic is then the adjacency
+/// lookups themselves. Sequential and parallel callers share this
+/// function, so the two remain destination-for-destination identical.
 fn run_walk(g: &Graph, seed: &Seed, cdf: &[f64], master_seed: u64, i: usize) -> (u32, u32) {
     let mut rng =
         StdRng::seed_from_u64(master_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -87,13 +112,20 @@ fn run_walk(g: &Graph, seed: &Seed, cdf: &[f64], master_seed: u64, i: usize) -> 
     let u: f64 = rng.gen();
     let len = cdf.partition_point(|&c| c < u);
     let mut steps = 0u32;
-    for _ in 0..len {
-        let nbrs = g.neighbors(v);
-        if nbrs.is_empty() {
-            break;
+    let mut buf = [0u64; WALK_RNG_BLOCK];
+    let mut remaining = len;
+    'walk: while remaining > 0 {
+        let take = remaining.min(WALK_RNG_BLOCK);
+        rng.fill_u64(&mut buf[..take]);
+        for &raw in &buf[..take] {
+            let nbrs = g.neighbors(v);
+            if nbrs.is_empty() {
+                break 'walk;
+            }
+            v = nbrs[pick_below(raw, &mut rng, nbrs.len() as u64) as usize];
+            steps += 1;
         }
-        v = nbrs[rng.gen_range(0..nbrs.len())];
-        steps += 1;
+        remaining -= take;
     }
     (v, steps)
 }
@@ -268,6 +300,7 @@ mod tests {
                 t,
                 n_levels: 30,
                 eps: 1e-10,
+                ..Default::default()
             },
         );
         let rnd = rand_hkpr_seq(

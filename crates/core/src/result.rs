@@ -16,7 +16,13 @@ pub struct DiffusionStats {
     /// Σ d(v) over all processed vertices — the paper's work measure
     /// (Theorem 3 bounds this by `1/(α·ε)` for PR-Nibble).
     pub pushed_volume: u64,
-    /// Number of edges traversed by `edgeMap`/neighbor loops.
+    /// Number of *frontier* edges applied by `edgeMap`/neighbor loops —
+    /// the mass-carrying traversals, `Σ vol(F_i)`, in both traversal
+    /// directions. A dense pull iteration additionally *scans* every
+    /// adjacency entry in the graph to find those edges; that scan
+    /// overhead shows up in wall-clock, and is deliberately kept out of
+    /// this counter so sequential/parallel and push/pull runs of the
+    /// same diffusion report comparable algorithmic work.
     pub edges_traversed: u64,
     /// Probability mass left outside the returned vector when the
     /// algorithm stopped: `|r|₁` for the push algorithms, the truncated
@@ -38,6 +44,21 @@ impl Diffusion {
     pub(crate) fn from_entries(mut entries: Vec<(u32, f64)>, stats: DiffusionStats) -> Self {
         entries.retain(|&(_, m)| m > 0.0);
         entries.sort_unstable_by_key(|&(v, _)| v);
+        Diffusion { p: entries, stats }
+    }
+
+    /// As [`Diffusion::from_entries`], but sorting with the pool — the
+    /// final pack of a parallel diffusion whose support can reach a
+    /// constant fraction of `n`, where a single-threaded sort would be
+    /// the last serial bottleneck. Keys are unique, so the stable
+    /// parallel merge sort yields the identical vector.
+    pub(crate) fn from_entries_par(
+        pool: &lgc_parallel::Pool,
+        mut entries: Vec<(u32, f64)>,
+        stats: DiffusionStats,
+    ) -> Self {
+        entries.retain(|&(_, m)| m > 0.0);
+        lgc_parallel::merge_sort_by(pool, &mut entries, |a, b| a.0.cmp(&b.0));
         Diffusion { p: entries, stats }
     }
 

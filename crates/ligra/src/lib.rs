@@ -15,14 +15,46 @@
 //!   high-degree vertex cannot serialize an iteration — the same load
 //!   balancing Ligra gets from its edge-granularity traversal).
 //!
-//! Update functions run concurrently on many edges and must synchronize
-//! their side effects (the clustering code uses the atomic sparse sets of
-//! `lgc-sparse`), mirroring the paper's "the programmer ensures parallel
-//! correctness of the functions passed to vertexMap and edgeMap by using
-//! atomic operations where necessary".
+//! # The push/pull duality
+//!
+//! §2 of the paper presents `edgeMap` as *direction-optimizing*: Ligra
+//! keeps two implementations of the same edge traversal and switches
+//! between them per iteration based on the frontier's size.
+//!
+//! **Sparse push** ([`edge_map`] / [`edge_map_indexed`]) iterates the
+//! frontier's out-edges: work `O(|F| + vol(F))`, ideal while the frontier
+//! is a vanishing slice of the graph, but every destination may be hit by
+//! many sources at once, so updates must be atomic (the `fetchAdd` the
+//! paper cites).
+//!
+//! **Dense pull** ([`edge_map_dense`] / [`edge_map_dense_gather`])
+//! iterates *destinations*: every vertex scans its in-neighbors (for our
+//! undirected CSR, its adjacency list) against a frontier bitset and
+//! accumulates whatever its frontier neighbors send. Work is `O(n + m)`
+//! regardless of the frontier — more edges touched, but each destination
+//! is owned by exactly one thread, so its accumulation needs **no
+//! atomics, just plain writes**, visits sources in ascending id order,
+//! and is therefore bitwise deterministic across thread counts.
+//!
+//! The crossover: once `|F| + vol(F)` is a constant fraction of `m`, the
+//! push traversal already touches most of the graph *and* pays an atomic
+//! RMW per edge, so the plain-write scan wins. [`DirectionParams`]
+//! implements Ligra's heuristic — pull when `|F| + vol(F) > m / 20`
+//! (tunable) — and [`edge_map_dir`] applies it automatically. [`Frontier`]
+//! carries both representations (sorted id list and bitset) with `O(len)`
+//! conversions so flip-flopping between directions never pays more than
+//! the iteration it serves.
+//!
+//! Push update functions run concurrently on many edges and must
+//! synchronize their side effects (the clustering code uses the atomic
+//! sparse sets of `lgc-sparse`), mirroring the paper's "the programmer
+//! ensures parallel correctness of the functions passed to vertexMap and
+//! edgeMap by using atomic operations where necessary". Pull update
+//! functions get the stronger single-writer-per-destination guarantee
+//! described above.
 
 use lgc_graph::Graph;
-use lgc_parallel::{scan_exclusive, Pool};
+use lgc_parallel::{merge_sort_by, scan_exclusive, Bitset, Pool};
 
 /// A sparse subset of vertices (the paper's `vertexSubset`).
 ///
@@ -60,6 +92,14 @@ impl VertexSubset {
         ids.sort_unstable();
         ids.dedup();
         VertexSubset { ids }
+    }
+
+    /// Sorts an already duplicate-free id list with the pool and wraps it
+    /// — the frontier-construction path for large filter outputs, whose
+    /// single-threaded `sort_unstable` otherwise serializes an iteration.
+    pub fn from_distinct_unsorted_par(pool: &Pool, mut ids: Vec<u32>) -> Self {
+        merge_sort_by(pool, &mut ids, |a, b| a.cmp(b));
+        Self::from_sorted(ids)
     }
 
     /// Number of vertices in the subset.
@@ -187,6 +227,277 @@ pub fn edge_map_indexed(
             vi += 1;
         }
     });
+}
+
+/// Which traversal an iteration uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Sparse push: iterate the frontier's out-edges (atomic updates).
+    Push,
+    /// Dense pull: iterate all destinations against the frontier bitset
+    /// (plain-write updates, deterministic).
+    Pull,
+}
+
+/// How [`edge_map_dir`] (and the diffusions) pick a direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectionMode {
+    /// Ligra's heuristic: pull when `|F| + vol(F) > m / dense_denom`.
+    Auto,
+    /// Always push (the pre-direction-optimization behavior).
+    Push,
+    /// Always pull (mainly for testing and benchmarking the dense engine).
+    Pull,
+}
+
+/// The direction-optimization knob carried by the diffusion param
+/// structs: when and whether to switch `edgeMap` from sparse push to the
+/// dense pull traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectionParams {
+    /// Selection policy (default [`DirectionMode::Auto`]).
+    pub mode: DirectionMode,
+    /// Denominator of the dense threshold: with `Auto`, pull is chosen
+    /// when `|frontier| + vol(frontier) > m / dense_denom` (`m` =
+    /// undirected edge count). Ligra's default is 20.
+    pub dense_denom: usize,
+}
+
+impl Default for DirectionParams {
+    fn default() -> Self {
+        DirectionParams {
+            mode: DirectionMode::Auto,
+            dense_denom: 20,
+        }
+    }
+}
+
+impl DirectionParams {
+    /// Pins every iteration to sparse push.
+    pub fn push_only() -> Self {
+        DirectionParams {
+            mode: DirectionMode::Push,
+            ..Default::default()
+        }
+    }
+
+    /// Pins every iteration to dense pull.
+    pub fn pull_only() -> Self {
+        DirectionParams {
+            mode: DirectionMode::Pull,
+            ..Default::default()
+        }
+    }
+
+    /// Picks the direction for a frontier of `len` vertices and volume
+    /// `vol` on `g`.
+    pub fn choose(&self, g: &Graph, len: usize, vol: usize) -> Direction {
+        match self.mode {
+            DirectionMode::Push => Direction::Push,
+            DirectionMode::Pull => Direction::Pull,
+            DirectionMode::Auto => {
+                if len + vol > g.num_edges() / self.dense_denom.max(1) {
+                    Direction::Pull
+                } else {
+                    Direction::Push
+                }
+            }
+        }
+    }
+}
+
+/// A direction-agnostic frontier: the sorted id list (what the push
+/// engines and per-vertex phases consume) plus a lazily materialized
+/// dense bitset (what the pull engine probes).
+///
+/// Conversions cost `O(len)` beyond a one-time `O(n/64)` bitset
+/// allocation: [`Frontier::advance`] recycles the bitset buffer by
+/// clearing exactly the outgoing members' words, so alternating
+/// directions across iterations never pays a full `O(n)` wipe.
+pub struct Frontier {
+    subset: VertexSubset,
+    /// Cached dense view. Invariant: when `bits_valid` is false every
+    /// word is zero (cleared on `advance`), so revalidation is one
+    /// `set_sorted` pass.
+    bits: Option<Bitset>,
+    bits_valid: bool,
+}
+
+impl Frontier {
+    /// Wraps a sparse subset (no dense view yet).
+    pub fn from_subset(subset: VertexSubset) -> Self {
+        Frontier {
+            subset,
+            bits: None,
+            bits_valid: false,
+        }
+    }
+
+    /// A singleton frontier (the seed of a diffusion).
+    pub fn single(v: u32) -> Self {
+        Self::from_subset(VertexSubset::single(v))
+    }
+
+    /// Builds a frontier from a dense bitset, materializing the sorted id
+    /// list (`O(n/64 + len)`); the bitset is kept as the dense view.
+    pub fn from_bitset(pool: &Pool, bits: Bitset) -> Self {
+        let ids = bits.to_sorted_ids(pool);
+        Frontier {
+            subset: VertexSubset::from_sorted(ids),
+            bits: Some(bits),
+            bits_valid: true,
+        }
+    }
+
+    /// The sparse view.
+    pub fn subset(&self) -> &VertexSubset {
+        &self.subset
+    }
+
+    /// The sorted member ids.
+    pub fn ids(&self) -> &[u32] {
+        self.subset.ids()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.subset.len()
+    }
+
+    /// Whether the frontier is empty (every diffusion's termination test).
+    pub fn is_empty(&self) -> bool {
+        self.subset.is_empty()
+    }
+
+    /// `vol(F) = Σ d(v)` over the members.
+    pub fn volume(&self, g: &Graph) -> usize {
+        self.subset.volume(g)
+    }
+
+    /// The dense view over universe `0..n`, building it on first use
+    /// (`O(len)` plus the one-time allocation).
+    pub fn bits(&mut self, pool: &Pool, n: usize) -> &Bitset {
+        if self.bits.as_ref().is_some_and(|b| b.universe() != n) {
+            self.bits = None;
+            self.bits_valid = false;
+        }
+        let bits = self.bits.get_or_insert_with(|| Bitset::new(n));
+        if !self.bits_valid {
+            bits.set_sorted(pool, self.subset.ids());
+            self.bits_valid = true;
+        }
+        bits
+    }
+
+    /// Replaces the members with the next iteration's subset, recycling
+    /// the dense buffer: the outgoing members' bits are cleared in
+    /// `O(len)` so the next [`Frontier::bits`] call only pays the set.
+    pub fn advance(&mut self, pool: &Pool, next: VertexSubset) {
+        if let Some(bits) = &self.bits {
+            if self.bits_valid {
+                bits.clear_sorted(pool, self.subset.ids());
+            }
+        }
+        self.bits_valid = false;
+        self.subset = next;
+    }
+}
+
+/// Vertices per chunk in the dense traversals. Small enough that degree
+/// skew load-balances through chunk claiming, large enough to amortize
+/// the claim.
+const DENSE_GRAIN: usize = 512;
+
+/// The dense pull engine: applies `f(src, dst)` to every edge `(src,
+/// dst)` with `src` in the frontier bitset, by scanning **all** vertices
+/// `dst` in parallel and testing their in-neighbors against the bitset.
+///
+/// Work `O(n + m)` regardless of the frontier. The guarantees sparse push
+/// cannot give: all calls for one `dst` happen on a single thread, in
+/// ascending `src` order — so per-destination state needs plain writes
+/// only (no atomics) and the result is bitwise deterministic across
+/// thread counts. Covers exactly the same edge set as
+/// [`edge_map`] over the equivalent sparse frontier.
+pub fn edge_map_dense(pool: &Pool, g: &Graph, frontier: &Bitset, f: impl Fn(u32, u32) + Sync) {
+    let n = g.num_vertices();
+    debug_assert_eq!(frontier.universe(), n, "bitset universe must be n");
+    pool.run(n, DENSE_GRAIN, |s, e| {
+        for dst in s as u32..e as u32 {
+            for &src in g.neighbors(dst) {
+                if frontier.contains(src) {
+                    f(src, dst);
+                }
+            }
+        }
+    });
+}
+
+/// Pull with fused per-destination accumulation: for every vertex `dst`
+/// whose in-neighborhood intersects the frontier, computes `Σ
+/// contrib[src]` over the frontier in-neighbors (in ascending `src`
+/// order, in a register) and calls `apply(dst, sum)` exactly once.
+///
+/// This is the fastest shape for the diffusions' "sum incoming mass"
+/// updates: zero atomics and one store per destination instead of one
+/// RMW per edge. `contrib` is indexed by vertex id (entries outside the
+/// frontier are never read). Same determinism guarantee as
+/// [`edge_map_dense`].
+pub fn edge_map_dense_gather(
+    pool: &Pool,
+    g: &Graph,
+    frontier: &Bitset,
+    contrib: &[f64],
+    apply: impl Fn(u32, f64) + Sync,
+) {
+    let n = g.num_vertices();
+    debug_assert_eq!(frontier.universe(), n, "bitset universe must be n");
+    debug_assert!(contrib.len() >= n, "contrib must cover the universe");
+    pool.run(n, DENSE_GRAIN, |s, e| {
+        for dst in s as u32..e as u32 {
+            let mut acc = 0.0f64;
+            let mut any = false;
+            for &src in g.neighbors(dst) {
+                if frontier.contains(src) {
+                    acc += contrib[src as usize];
+                    any = true;
+                }
+            }
+            if any {
+                apply(dst, acc);
+            }
+        }
+    });
+}
+
+/// The direction-optimizing `edgeMap` (§2): picks push or pull per
+/// [`DirectionParams`] and runs `f(src, dst)` over the frontier's edges
+/// with the chosen engine. Returns the direction it took.
+///
+/// `f` must tolerate both calling conventions: concurrent per-edge calls
+/// (push — synchronize with atomics) and single-writer-per-destination
+/// calls (pull). Commutative atomic accumulation satisfies both.
+pub fn edge_map_dir(
+    pool: &Pool,
+    g: &Graph,
+    frontier: &mut Frontier,
+    params: &DirectionParams,
+    f: impl Fn(u32, u32) + Sync,
+) -> Direction {
+    if frontier.is_empty() {
+        return Direction::Push;
+    }
+    let (len, vol) = (frontier.len(), frontier.volume(g));
+    match params.choose(g, len, vol) {
+        Direction::Push => {
+            edge_map(pool, g, frontier.subset(), f);
+            Direction::Push
+        }
+        Direction::Pull => {
+            let bits = frontier.bits(pool, g.num_vertices());
+            edge_map_dense(pool, g, bits, f);
+            Direction::Pull
+        }
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +686,186 @@ mod tests {
                 assert_eq!(got, want, "|frontier|={}, t={threads}", frontier.len());
             }
         }
+    }
+
+    #[test]
+    fn direction_threshold_follows_ligra_rule() {
+        let g = gen::rand_local(2000, 5, 1); // m ≈ 5000
+        let m = g.num_edges();
+        let p = DirectionParams::default();
+        assert_eq!(p.choose(&g, 1, m / 20), Direction::Pull, "just above m/20");
+        assert_eq!(p.choose(&g, 0, m / 20), Direction::Push, "at m/20");
+        assert_eq!(p.choose(&g, 0, 0), Direction::Push);
+        assert_eq!(
+            DirectionParams::push_only().choose(&g, m, m),
+            Direction::Push
+        );
+        assert_eq!(
+            DirectionParams::pull_only().choose(&g, 0, 1),
+            Direction::Pull
+        );
+        // A custom denominator moves the crossover.
+        let eager = DirectionParams {
+            dense_denom: 1000,
+            ..Default::default()
+        };
+        assert_eq!(eager.choose(&g, 1, m / 100), Direction::Pull);
+    }
+
+    /// Per-CSR-edge integer trace for any engine driven through a closure,
+    /// for exact cross-engine comparison.
+    fn trace_with(g: &lgc_graph::Graph, run: impl FnOnce(&(dyn Fn(u32, u32) + Sync))) -> Vec<u64> {
+        let cells: Vec<AtomicU64> = (0..g.total_degree()).map(|_| AtomicU64::new(0)).collect();
+        run(&|src, dst| {
+            let nbrs = g.neighbors(src);
+            let k = nbrs.partition_point(|&x| x < dst);
+            assert_eq!(nbrs[k], dst);
+            let base: usize = (0..src).map(|v| g.degree(v)).sum();
+            cells[base + k].fetch_add(1, Ordering::Relaxed);
+        });
+        cells.into_iter().map(AtomicU64::into_inner).collect()
+    }
+
+    /// The tentpole contract: dense pull covers exactly the edge set of
+    /// sparse push (each frontier edge once, others never), across
+    /// skewed/empty/full frontiers at 1/2/4 threads.
+    #[test]
+    fn edge_map_dense_equivalent_to_push() {
+        let skewed = gen::star(5_000);
+        let local = gen::rand_local(600, 6, 4);
+        let with_isolated = lgc_graph::Graph::from_edges(50, &[(0, 1), (1, 2), (4, 5)]);
+        let full: Vec<u32> = (0..600).collect();
+        let cases: Vec<(&lgc_graph::Graph, Vec<u32>)> = vec![
+            (&skewed, vec![0]),
+            (&skewed, vec![0, 5, 17]),
+            (&local, vec![]),
+            (&local, (0..600u32).filter(|v| v % 3 == 0).collect()),
+            (&local, full),
+            (&with_isolated, vec![10, 20, 30]),
+            (&with_isolated, vec![1, 10, 45]),
+        ];
+        for (g, ids) in &cases {
+            let subset = VertexSubset::from_sorted(ids.clone());
+            let ref_pool = Pool::new(1);
+            let want = trace_with(g, |f| edge_map(&ref_pool, g, &subset, f));
+            for threads in [1, 2, 4] {
+                let pool = Pool::new(threads);
+                let bits = Bitset::new(g.num_vertices());
+                bits.set_sorted(&pool, ids);
+                let got = trace_with(g, |f| edge_map_dense(&pool, g, &bits, f));
+                assert_eq!(got, want, "|F|={} t={threads}", ids.len());
+            }
+        }
+    }
+
+    /// Pull-mode accumulation is bitwise deterministic across thread
+    /// counts (each destination sums in ascending source order on one
+    /// thread), unlike push-mode atomic accumulation.
+    #[test]
+    fn dense_gather_is_bitwise_deterministic() {
+        let g = gen::rmat_graph500(10, 8, 7);
+        let n = g.num_vertices();
+        let ids: Vec<u32> = (0..n as u32).filter(|v| v % 2 == 0).collect();
+        let contrib: Vec<f64> = (0..n).map(|v| 1.0 / (v as f64 + 3.0)).collect();
+        let gather = |threads: usize| -> Vec<f64> {
+            let pool = Pool::new(threads);
+            let bits = Bitset::new(n);
+            bits.set_sorted(&pool, &ids);
+            let mut out = vec![0.0f64; n];
+            let view = lgc_parallel::UnsafeSlice::new(&mut out);
+            edge_map_dense_gather(&pool, &g, &bits, &contrib, |dst, sum| {
+                // SAFETY: the engine guarantees one writer per dst.
+                unsafe { view.write(dst as usize, sum) };
+            });
+            out
+        };
+        let t1 = gather(1);
+        assert_eq!(t1, gather(2));
+        assert_eq!(t1, gather(4));
+        // And it matches an independent sequential computation exactly.
+        for dst in 0..n as u32 {
+            let want: f64 = g
+                .neighbors(dst)
+                .iter()
+                .filter(|&&s| s % 2 == 0)
+                .map(|&s| contrib[s as usize])
+                .sum();
+            assert_eq!(t1[dst as usize], want, "dst={dst}");
+        }
+    }
+
+    #[test]
+    fn edge_map_dir_switches_at_threshold() {
+        let g = gen::rand_local(3000, 5, 2);
+        let pool = Pool::new(2);
+        let count = AtomicUsize::new(0);
+        let bump = |_s: u32, _d: u32| {
+            count.fetch_add(1, Ordering::Relaxed);
+        };
+        let params = DirectionParams::default();
+        // A single low-degree vertex stays sparse.
+        let mut small = Frontier::single(0);
+        assert_eq!(
+            edge_map_dir(&pool, &g, &mut small, &params, bump),
+            Direction::Push
+        );
+        assert_eq!(count.swap(0, Ordering::Relaxed), g.degree(0));
+        // A frontier covering most of the graph goes dense — and still
+        // covers exactly its own edge volume.
+        let big_ids: Vec<u32> = (0..g.num_vertices() as u32).step_by(2).collect();
+        let mut big = Frontier::from_subset(VertexSubset::from_sorted(big_ids));
+        let vol = big.volume(&g);
+        assert_eq!(
+            edge_map_dir(&pool, &g, &mut big, &params, bump),
+            Direction::Pull
+        );
+        assert_eq!(count.load(Ordering::Relaxed), vol);
+        // Empty frontier is a no-op.
+        let mut empty = Frontier::from_subset(VertexSubset::empty());
+        edge_map_dir(&pool, &g, &mut empty, &params, |_, _| panic!("no edges"));
+    }
+
+    #[test]
+    fn frontier_conversions_and_recycling() {
+        let pool = Pool::new(2);
+        let n = 4000;
+        let a: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let mut f = Frontier::from_subset(VertexSubset::from_sorted(a.clone()));
+        assert_eq!(f.bits(&pool, n).to_sorted_ids(&pool), a);
+        // Advance must clear the recycled buffer before revalidating.
+        let b: Vec<u32> = (1..n as u32).step_by(5).collect();
+        f.advance(&pool, VertexSubset::from_sorted(b.clone()));
+        assert_eq!(f.ids(), &b[..]);
+        assert_eq!(f.bits(&pool, n).to_sorted_ids(&pool), b);
+        // Round-trip through the dense representation.
+        let bits = Bitset::new(n);
+        bits.set_sorted(&pool, &a);
+        let g = Frontier::from_bitset(&pool, bits);
+        assert_eq!(g.ids(), &a[..]);
+        assert_eq!(g.len(), a.len());
+    }
+
+    #[test]
+    fn frontier_bits_revalidates_on_universe_change() {
+        // A validated bitset for one universe must not be mistaken for a
+        // validated bitset of a different universe.
+        let pool = Pool::new(2);
+        let ids = vec![1u32, 5, 9];
+        let mut f = Frontier::from_subset(VertexSubset::from_sorted(ids.clone()));
+        assert_eq!(f.bits(&pool, 100).to_sorted_ids(&pool), ids);
+        assert_eq!(f.bits(&pool, 50).to_sorted_ids(&pool), ids, "shrunk");
+        assert_eq!(f.bits(&pool, 200).to_sorted_ids(&pool), ids, "grown");
+    }
+
+    #[test]
+    fn from_distinct_unsorted_par_sorts() {
+        let pool = Pool::new(4);
+        let mut ids: Vec<u32> = (0..40_000u32).rev().collect();
+        ids.retain(|v| v % 3 != 0);
+        let mut want = ids.clone();
+        want.sort_unstable();
+        let s = VertexSubset::from_distinct_unsorted_par(&pool, ids);
+        assert_eq!(s.ids(), &want[..]);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! A fixed-universe bitset with parallel construction and enumeration —
+//! the dense half of a Ligra-style frontier.
+//!
+//! Direction-optimizing traversals need to answer "is `v` in the
+//! frontier?" in O(1) from many threads while the frontier itself was
+//! produced as a sorted id list. [`Bitset`] stores one bit per vertex in
+//! atomic 64-bit words so that
+//!
+//! * membership writes from concurrent chunks are safe (two sorted-id
+//!   chunks can share a boundary word, so [`Bitset::set_sorted`] uses a
+//!   relaxed `fetch_or`, coalescing all bits that fall into one word into
+//!   a single RMW),
+//! * membership reads ([`Bitset::contains`]) are one relaxed load + mask,
+//! * clearing by the previous id list ([`Bitset::clear_sorted`]) costs
+//!   `O(len)` — racy duplicate stores of `0` to a shared word are benign —
+//!   so a recycled bitset never pays the `O(n/64)` full wipe twice.
+//!
+//! Conversion back to a sorted id list ([`Bitset::to_sorted_ids`]) is the
+//! classic parallel pack: per-chunk popcounts, an exclusive prefix sum for
+//! the output offsets, then an independent write pass per chunk.
+
+use crate::{scan_exclusive, Pool, UnsafeSlice};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many vertices one enumeration/clear chunk covers (a multiple of
+/// 64 so chunks own whole words).
+const WORDS_PER_CHUNK: usize = 1 << 10;
+
+/// A set over the fixed universe `0..n`, one bit per element.
+pub struct Bitset {
+    words: Box<[AtomicU64]>,
+    n: usize,
+}
+
+impl Bitset {
+    /// An empty set over universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        Bitset {
+            words: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            n,
+        }
+    }
+
+    /// The universe size `n` fixed at construction.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `v` is in the set (safe during a write phase that only
+    /// *adds* members; relaxed — phase boundaries provide ordering).
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        let i = v as usize;
+        debug_assert!(i < self.n, "id out of universe");
+        self.words[i >> 6].load(Ordering::Relaxed) & (1u64 << (i & 63)) != 0
+    }
+
+    /// Inserts one id (safe from any thread; relaxed RMW).
+    #[inline]
+    pub fn insert(&self, v: u32) {
+        let i = v as usize;
+        debug_assert!(i < self.n, "id out of universe");
+        self.words[i >> 6].fetch_or(1u64 << (i & 63), Ordering::Relaxed);
+    }
+
+    /// Inserts every id of a sorted list in parallel — `O(len)` work.
+    ///
+    /// Ids falling into one word are coalesced into a single `fetch_or`;
+    /// the RMW (rather than a plain store) keeps boundary words shared by
+    /// two chunks correct, and the result is deterministic regardless.
+    pub fn set_sorted(&self, pool: &Pool, ids: &[u32]) {
+        pool.run(ids.len(), 1 << 11, |s, e| {
+            let chunk = &ids[s..e];
+            let mut k = 0;
+            while k < chunk.len() {
+                let w = (chunk[k] as usize) >> 6;
+                let mut mask = 0u64;
+                while k < chunk.len() && (chunk[k] as usize) >> 6 == w {
+                    mask |= 1u64 << (chunk[k] & 63);
+                    k += 1;
+                }
+                self.words[w].fetch_or(mask, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Clears the words containing the given sorted ids — `O(len)`, the
+    /// cheap wipe when the previous member list is still at hand.
+    /// (Duplicate zero-stores to a shared boundary word are benign.)
+    pub fn clear_sorted(&self, pool: &Pool, ids: &[u32]) {
+        pool.run(ids.len(), 1 << 11, |s, e| {
+            for &v in &ids[s..e] {
+                self.words[(v as usize) >> 6].store(0, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Clears the whole universe — `O(n/64)`.
+    pub fn clear_all(&self, pool: &Pool) {
+        pool.run(self.words.len(), WORDS_PER_CHUNK, |s, e| {
+            for w in &self.words[s..e] {
+                w.store(0, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Number of members — `O(n/64)` parallel popcount.
+    pub fn count(&self, pool: &Pool) -> usize {
+        let n_chunks = self.words.len().div_ceil(WORDS_PER_CHUNK);
+        crate::map_index(pool, n_chunks, |c| {
+            let s = c * WORDS_PER_CHUNK;
+            let e = (s + WORDS_PER_CHUNK).min(self.words.len());
+            self.words[s..e]
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+                .sum::<usize>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Packs the members into a sorted id list — `O(n/64 + len)` work:
+    /// per-chunk popcounts, a prefix sum for offsets, then each chunk
+    /// writes its ids independently.
+    pub fn to_sorted_ids(&self, pool: &Pool) -> Vec<u32> {
+        let n_chunks = self.words.len().div_ceil(WORDS_PER_CHUNK);
+        let counts: Vec<usize> = crate::map_index(pool, n_chunks, |c| {
+            let s = c * WORDS_PER_CHUNK;
+            let e = (s + WORDS_PER_CHUNK).min(self.words.len());
+            self.words[s..e]
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+                .sum()
+        });
+        let (offsets, total) = scan_exclusive(pool, &counts, 0usize, |a, b| a + b);
+        let mut out = vec![0u32; total];
+        {
+            let view = UnsafeSlice::new(&mut out);
+            pool.for_each_index(n_chunks, 1, |c| {
+                let s = c * WORDS_PER_CHUNK;
+                let e = (s + WORDS_PER_CHUNK).min(self.words.len());
+                let mut pos = offsets[c];
+                for (wi, w) in self.words[s..e].iter().enumerate() {
+                    let mut bits = w.load(Ordering::Relaxed);
+                    let base = ((s + wi) << 6) as u32;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros();
+                        // SAFETY: chunks write disjoint [offsets[c],
+                        // offsets[c] + counts[c]) ranges.
+                        unsafe { view.write(pos, base + b) };
+                        pos += 1;
+                        bits &= bits - 1;
+                    }
+                }
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sorted_ids() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let n = 10_000;
+            let ids: Vec<u32> = (0..n as u32)
+                .filter(|v| v % 7 == 0 || v % 64 == 63)
+                .collect();
+            let bits = Bitset::new(n);
+            bits.set_sorted(&pool, &ids);
+            for v in 0..n as u32 {
+                assert_eq!(bits.contains(v), ids.binary_search(&v).is_ok(), "v={v}");
+            }
+            assert_eq!(bits.count(&pool), ids.len());
+            assert_eq!(bits.to_sorted_ids(&pool), ids, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let pool = Pool::new(2);
+        let bits = Bitset::new(129);
+        assert_eq!(bits.count(&pool), 0);
+        assert!(bits.to_sorted_ids(&pool).is_empty());
+        let all: Vec<u32> = (0..129).collect();
+        bits.set_sorted(&pool, &all);
+        assert_eq!(bits.count(&pool), 129);
+        assert_eq!(bits.to_sorted_ids(&pool), all);
+        bits.clear_all(&pool);
+        assert_eq!(bits.count(&pool), 0);
+    }
+
+    #[test]
+    fn clear_sorted_recycles() {
+        let pool = Pool::new(2);
+        let bits = Bitset::new(1000);
+        let a: Vec<u32> = (0..1000).step_by(3).collect();
+        bits.set_sorted(&pool, &a);
+        bits.clear_sorted(&pool, &a);
+        assert_eq!(bits.count(&pool), 0, "clear by id list wipes everything");
+        let b = vec![1u32, 63, 64, 999];
+        bits.set_sorted(&pool, &b);
+        assert_eq!(bits.to_sorted_ids(&pool), b);
+    }
+
+    #[test]
+    fn word_boundary_neighbors_from_parallel_chunks() {
+        // Ids 63 and 64 sit in adjacent words; dense runs crossing word
+        // boundaries must survive chunked parallel insertion.
+        let pool = Pool::new(4);
+        let n = 1 << 16;
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let bits = Bitset::new(n);
+        bits.set_sorted(&pool, &ids);
+        assert_eq!(bits.count(&pool), n);
+    }
+
+    #[test]
+    fn zero_universe() {
+        let pool = Pool::new(2);
+        let bits = Bitset::new(0);
+        assert_eq!(bits.count(&pool), 0);
+        assert!(bits.to_sorted_ids(&pool).is_empty());
+    }
+}

@@ -21,12 +21,16 @@
 //!   the randomized heat-kernel aggregation (Theorem 5).
 //! * [`AtomicF64`] — the atomic `fetchAdd` on doubles that the paper's
 //!   `edgeMap` update functions rely on.
+//! * [`Bitset`] — a fixed-universe bitset with parallel construction from
+//!   (and enumeration back to) sorted id lists; the dense frontier
+//!   representation behind the direction-optimizing `edgeMap`.
 //!
 //! All primitives fall back to tight sequential loops below a size threshold
 //! or when the pool has a single thread, so they are safe to use at any
 //! problem size.
 
 mod atomic;
+mod bitset;
 mod filter;
 mod intsort;
 mod map;
@@ -36,6 +40,7 @@ mod slice;
 mod sort;
 
 pub use atomic::{atomic_f64_fetch_add, AtomicF64};
+pub use bitset::Bitset;
 pub use filter::{filter, filter_map_index, pack_indices};
 pub use intsort::counting_sort_by_key;
 pub use map::{

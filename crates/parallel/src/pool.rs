@@ -64,10 +64,28 @@ struct Shared {
     /// back-to-back loops per run; keeping workers hot across them is
     /// worth far more than the microseconds of spin.
     pub_epoch: std::sync::atomic::AtomicU64,
+    /// Per-pool idle-spin budget: [`IDLE_SPINS`] when every thread can
+    /// have its own core, [`OVERSUBSCRIBED_SPINS`] when the pool has more
+    /// threads than the machine — spinning then steals the timeslice of
+    /// the thread that holds actual work, which is how `t > 1` used to
+    /// *lose* to `t = 1` on a 1-core box.
+    spin_budget: u32,
 }
 
-/// How long an idle worker spins waiting for the next job before parking.
+/// How long an idle worker spins waiting for the next job before parking,
+/// when threads ≤ cores.
 const IDLE_SPINS: u32 = 100_000;
+
+/// Spin budget when the pool is oversubscribed (threads > cores): park
+/// almost immediately and let the OS hand the core to a thread with work.
+const OVERSUBSCRIBED_SPINS: u32 = 64;
+
+/// The machine's hardware parallelism (1 if unknown).
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// A fixed-size thread pool for data-parallel loops.
 ///
@@ -97,6 +115,11 @@ impl Pool {
     /// (including the caller). `threads` is clamped to at least 1.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
+        let spin_budget = if threads > hardware_threads() {
+            OVERSUBSCRIBED_SPINS
+        } else {
+            IDLE_SPINS
+        };
         let shared = Arc::new(Shared {
             slot: Mutex::new(Slot {
                 job: None,
@@ -106,6 +129,7 @@ impl Pool {
             done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             pub_epoch: std::sync::atomic::AtomicU64::new(0),
+            spin_budget,
         });
         let workers = (1..threads)
             .map(|i| {
@@ -130,10 +154,18 @@ impl Pool {
 
     /// A pool sized to the machine (`std::thread::available_parallelism`).
     pub fn with_default_threads() -> Self {
-        let t = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::new(t)
+        Self::new(hardware_threads())
+    }
+
+    /// A pool of at most `threads` threads, clamped to the machine's
+    /// available parallelism — for callers that take a requested thread
+    /// count from configuration or CLI input, where workers beyond the
+    /// core count only add scheduling overhead. `Pool::new` keeps the
+    /// exact count for callers that *want* oversubscription (concurrency
+    /// tests exercising real interleavings, thread-scaling benchmark
+    /// sweeps that record `t = 1/2/4` regardless of the host).
+    pub fn new_clamped(threads: usize) -> Self {
+        Self::new(threads.min(hardware_threads()))
     }
 
     /// Total number of threads participating in loops (workers + caller).
@@ -209,7 +241,7 @@ impl Pool {
         slot.job = None;
         drop(slot);
         let mut done = false;
-        for _ in 0..IDLE_SPINS {
+        for _ in 0..self.shared.spin_budget {
             if finished(&job) {
                 done = true;
                 break;
@@ -291,7 +323,7 @@ fn worker_loop(shared: &Shared) {
         let mut spins = 0u32;
         while shared.pub_epoch.load(Ordering::Acquire) == last_epoch
             && !shared.shutdown.load(Ordering::Acquire)
-            && spins < IDLE_SPINS
+            && spins < shared.spin_budget
         {
             spins += 1;
             std::hint::spin_loop();
@@ -363,6 +395,23 @@ mod tests {
             counts[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn new_clamped_caps_at_hardware_parallelism() {
+        let hw = hardware_threads();
+        assert_eq!(Pool::new_clamped(1024).num_threads(), hw.min(1024));
+        assert_eq!(Pool::new_clamped(1).num_threads(), 1);
+        // Oversubscribed pools still execute correctly, just with a
+        // parked-not-spinning idle policy.
+        let pool = Pool::new(hw * 4);
+        assert_eq!(pool.shared.spin_budget, OVERSUBSCRIBED_SPINS);
+        let total = AtomicU64::new(0);
+        pool.run(10_000, 64, |s, e| {
+            total.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10_000);
+        assert_eq!(Pool::new(1).shared.spin_budget, IDLE_SPINS);
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub trait Rng {
     {
         self.gen::<f64>() < p
     }
+
+    /// Fills `out` with independent draws — the batched hot path for
+    /// consumers that need many raw values at once (e.g. one block per
+    /// random-walk chunk instead of one generator call per step). The
+    /// values are exactly the ones sequential `next_u64` calls would
+    /// produce, in order.
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 /// Types samplable by [`Rng::gen`].

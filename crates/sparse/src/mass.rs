@@ -93,6 +93,15 @@ impl DenseMassVec {
         self.mark(key);
     }
 
+    /// Single-writer-per-key accumulate: plain load/add/store, no CAS.
+    #[inline]
+    fn add_exclusive(&self, key: u32, delta: f64) {
+        let cell = &self.vals[key as usize];
+        let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + delta).to_bits(), Ordering::Relaxed);
+        self.mark(key);
+    }
+
     #[inline]
     fn set(&self, key: u32, value: f64) {
         self.vals[key as usize].store(value.to_bits(), Ordering::Release);
@@ -239,6 +248,20 @@ impl MassMap {
         }
     }
 
+    /// Adds `delta` to the mass at `key` under a *single-writer-per-key*
+    /// contract: the caller guarantees no other thread touches `key`
+    /// during this write phase (the dense pull traversals partition work
+    /// by destination, which provides exactly that), so the value update
+    /// is a plain load/add/store — no CAS loop. Distinct keys may still
+    /// be written concurrently; racing on one key loses mass.
+    #[inline]
+    pub fn add_exclusive(&self, key: u32, delta: f64) {
+        match &self.store {
+            MassStore::Sparse(s) => s.add_exclusive(key, delta),
+            MassStore::Dense(d) => d.add_exclusive(key, delta),
+        }
+    }
+
     /// Overwrites the value at `key`, inserting if absent (write phase).
     #[inline]
     pub fn set(&self, key: u32, value: f64) {
@@ -274,6 +297,26 @@ impl MassMap {
         match &self.store {
             MassStore::Sparse(s) => s.entries(pool),
             MassStore::Dense(d) => d.entries(pool),
+        }
+    }
+
+    /// Packs the keys whose `(key, mass)` pair satisfies `pred`, without
+    /// materializing the intermediate entries vector: dense mode scans
+    /// the dirty list directly (`O(support)` loads, one indexed read per
+    /// candidate), sparse mode scans the hash slots. This is the
+    /// diffusions' frontier-filter path — previously `entries()` packed
+    /// every pair into a `Vec` only for a second pass to re-filter it.
+    ///
+    /// Keys come back in backend order (first-touch when dense, slot
+    /// order when sparse — nondeterministic); callers wanting a
+    /// deterministic frontier sort the result. Read phase.
+    pub fn filter_keys(&self, pool: &Pool, pred: impl Fn(u32, f64) -> bool + Sync) -> Vec<u32> {
+        match &self.store {
+            MassStore::Sparse(s) => s.filter_keys(pool, pred),
+            MassStore::Dense(d) => lgc_parallel::filter_map_index(pool, d.len(), |i| {
+                let k = d.dirty[i].load(Ordering::Acquire);
+                pred(k, d.get(k)).then_some(k)
+            }),
         }
     }
 
@@ -471,6 +514,50 @@ mod tests {
         for k in (0..10_000u32).step_by(7) {
             assert_eq!(m.get(k), 0.0);
             assert!(!m.contains(k));
+        }
+    }
+
+    #[test]
+    fn filter_keys_matches_entries_filter_in_both_modes() {
+        let pool = Pool::new(4);
+        for make in [sparse_map, dense_map] {
+            let m = make(5000, 2000);
+            pool.for_each_index(2000, 64, |i| {
+                m.add((i * 2) as u32, i as f64 - 700.0);
+            });
+            let pred = |k: u32, v: f64| v > 0.0 && !k.is_multiple_of(3);
+            let mut direct = m.filter_keys(&pool, pred);
+            direct.sort_unstable();
+            let mut via_entries: Vec<u32> = m
+                .entries(&pool)
+                .into_iter()
+                .filter(|&(k, v)| pred(k, v))
+                .map(|(k, _)| k)
+                .collect();
+            via_entries.sort_unstable();
+            assert_eq!(direct, via_entries, "dense={}", m.is_dense());
+            assert!(!direct.is_empty());
+        }
+    }
+
+    #[test]
+    fn add_exclusive_accumulates_per_key_partitioned_writers() {
+        // Each key is owned by exactly one chunk (grain divides the key
+        // range), honoring the single-writer contract from many threads.
+        let pool = Pool::new(4);
+        for make in [sparse_map, dense_map] {
+            let m = make(1024, 1024);
+            pool.run(1024, 64, |s, e| {
+                for k in s..e {
+                    for _ in 0..8 {
+                        m.add_exclusive(k as u32, 0.25);
+                    }
+                }
+            });
+            for k in 0..1024u32 {
+                assert_eq!(m.get(k), 2.0, "key {k} dense={}", m.is_dense());
+            }
+            assert_eq!(m.len(), 1024);
         }
     }
 

@@ -151,4 +151,37 @@ proptest! {
         let total: f64 = map.entries(&pool).iter().map(|&(_, v)| v).sum();
         prop_assert_eq!(total, keys.len() as f64 * 0.5);
     }
+
+    /// `filter_keys` (the direct backend filter the diffusions use for
+    /// frontier construction) must select exactly the keys an
+    /// entries()-then-filter pass selects, in both backends at every
+    /// thread count.
+    #[test]
+    fn mass_map_filter_keys_matches_entries_filter(
+        keys in prop::collection::vec(0u32..512, 0..800),
+        threshold in -2.0f64..4.0,
+        t in 1usize..=4,
+        dense in any::<bool>(),
+    ) {
+        use lgc_sparse::MassMap;
+        let pool = Pool::new(t);
+        let frac = if dense { 0.0 } else { f64::INFINITY };
+        let map = MassMap::with_dense_fraction(512, 512, frac);
+        pool.run(keys.len(), 13, |s, e| {
+            for &k in &keys[s..e] {
+                map.add(k, if k % 3 == 0 { -0.25 } else { 0.5 });
+            }
+        });
+        let pred = |k: u32, v: f64| v >= threshold && k % 5 != 1;
+        let mut direct = map.filter_keys(&pool, pred);
+        direct.sort_unstable();
+        let mut via_entries: Vec<u32> = map
+            .entries(&pool)
+            .into_iter()
+            .filter(|&(k, v)| pred(k, v))
+            .map(|(k, _)| k)
+            .collect();
+        via_entries.sort_unstable();
+        prop_assert_eq!(direct, via_entries);
+    }
 }

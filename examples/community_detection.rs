@@ -48,6 +48,7 @@ fn main() {
             Algorithm::Nibble(NibbleParams {
                 t_max: 30,
                 eps: 1e-7,
+                ..Default::default()
             }),
         ),
         (
@@ -64,6 +65,7 @@ fn main() {
                 t: 8.0,
                 n_levels: 20,
                 eps: 1e-6,
+                ..Default::default()
             }),
         ),
         (

@@ -37,6 +37,7 @@ fn main() {
     let nibble = lgc::NibbleParams {
         t_max: 20,
         eps: 1e-8,
+        ..Default::default()
     };
     let pr = lgc::PrNibbleParams {
         alpha: 0.01,
@@ -47,6 +48,7 @@ fn main() {
         t: 10.0,
         n_levels: 20,
         eps: 1e-7,
+        ..Default::default()
     };
     let rhk = lgc::RandHkprParams {
         t: 10.0,

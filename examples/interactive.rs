@@ -85,7 +85,11 @@ fn main() {
                         &pool,
                         &g,
                         &Seed::single(v),
-                        &lgc::NibbleParams { t_max, eps },
+                        &lgc::NibbleParams {
+                            t_max,
+                            eps,
+                            ..Default::default()
+                        },
                     );
                     answer(&g, &pool, &d, t0);
                 } else {
@@ -101,7 +105,12 @@ fn main() {
                         &pool,
                         &g,
                         &Seed::single(v),
-                        &lgc::HkprParams { t, n_levels, eps },
+                        &lgc::HkprParams {
+                            t,
+                            n_levels,
+                            eps,
+                            ..Default::default()
+                        },
                     );
                     answer(&g, &pool, &d, t0);
                 } else {

@@ -27,6 +27,7 @@ fn main() {
         alphas: vec![0.1, 0.01],
         epsilons: vec![1e-4, 1e-5, 1e-6],
         rng_seed: 4,
+        ..Default::default()
     };
     eprintln!(
         "running {} PR-Nibble diffusions ({} seeds x {} alphas x {} epsilons)...",

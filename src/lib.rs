@@ -40,8 +40,8 @@ pub use lgc_core::{
     batch_prnibble, evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq,
     ncp_prnibble, nibble_par, nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq,
     rand_hkpr_par, rand_hkpr_seq, sweep_cut_par, sweep_cut_seq, Algorithm, ClusterResult,
-    Diffusion, EvolvingParams, HkprParams, NcpParams, NibbleParams, PrNibbleParams, PushRule,
-    Query, RandHkprParams, Seed, SweepCut,
+    Diffusion, Direction, DirectionMode, DirectionParams, EvolvingParams, HkprParams, NcpParams,
+    NibbleParams, PrNibbleParams, PushRule, Query, RandHkprParams, Seed, SweepCut,
 };
 pub use lgc_graph::{Graph, GraphBuilder};
 pub use lgc_parallel::Pool;

@@ -19,7 +19,7 @@ proptest! {
     #[test]
     fn nibble_mass_never_exceeds_one((g, v) in small_graph(), t_max in 1usize..12, threads in 1usize..=3) {
         let pool = Pool::new(threads);
-        let d = lgc::nibble_par(&pool, &g, &Seed::single(v), &lgc::NibbleParams { t_max, eps: 1e-6 });
+        let d = lgc::nibble_par(&pool, &g, &Seed::single(v), &lgc::NibbleParams { t_max, eps: 1e-6, ..Default::default() });
         let total = d.total_mass();
         prop_assert!(total <= 1.0 + 1e-9, "mass {}", total);
         prop_assert!(d.p.iter().all(|&(_, m)| m > 0.0));
@@ -38,7 +38,7 @@ proptest! {
 
     #[test]
     fn hkpr_par_matches_seq_support((g, v) in small_graph(), t in 0.5f64..8.0, threads in 1usize..=3) {
-        let params = lgc::HkprParams { t, n_levels: 10, eps: 1e-5 };
+        let params = lgc::HkprParams { t, n_levels: 10, eps: 1e-5, ..Default::default() };
         let seq = lgc::hkpr_seq(&g, &Seed::single(v), &params);
         let pool = Pool::new(threads);
         let par = lgc::hkpr_par(&pool, &g, &Seed::single(v), &params);
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn nibble_with_target_honors_its_contract((g, v) in small_graph(), phi in 0.001f64..0.9, threads in 1usize..=3) {
         let pool = Pool::new(threads);
-        let params = lgc::NibbleParams { t_max: 15, eps: 1e-6 };
+        let params = lgc::NibbleParams { t_max: 15, eps: 1e-6, ..Default::default() };
         if let Some(sweep) = lgc::nibble_with_target_par(&pool, &g, &Seed::single(v), &params, phi) {
             prop_assert!(sweep.best_conductance <= phi, "returned {} > target {}", sweep.best_conductance, phi);
             prop_assert!(!sweep.cluster().is_empty());
@@ -88,6 +88,83 @@ proptest! {
         prop_assert!(res.cluster.iter().all(|&u| (u as usize) < g.num_vertices()));
         let direct = g.conductance(&res.cluster);
         prop_assert!((direct - res.conductance).abs() < 1e-9 || (direct.is_infinite() && res.conductance.is_infinite()));
+    }
+}
+
+/// `ℓ₁` distance between two sparse diffusion vectors (union of supports).
+fn l1_distance(a: &plgc::Diffusion, b: &plgc::Diffusion) -> f64 {
+    let mut dist = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.p.len() || j < b.p.len() {
+        match (a.p.get(i), b.p.get(j)) {
+            (Some(&(va, ma)), Some(&(vb, mb))) if va == vb => {
+                dist += (ma - mb).abs();
+                i += 1;
+                j += 1;
+            }
+            (Some(&(va, ma)), Some(&(vb, _))) if va < vb => {
+                dist += ma.abs();
+                i += 1;
+            }
+            (Some(_), Some(&(_, mb))) => {
+                dist += mb.abs();
+                j += 1;
+            }
+            (Some(&(_, ma)), None) => {
+                dist += ma.abs();
+                i += 1;
+            }
+            (None, Some(&(_, mb))) => {
+                dist += mb.abs();
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Traversal direction must be invisible to the algorithms:
+    /// push-pinned, pull-pinned, and auto runs of each parallel diffusion
+    /// return the same vector. Nibble and HK-PR pull reproduces the push
+    /// accumulation order exactly at one thread (bitwise); PR-Nibble's
+    /// pull path re-brackets the residual commit, so everything is held
+    /// to a tight ℓ₁ tolerance instead.
+    #[test]
+    fn diffusions_are_direction_invariant((g, v) in small_graph(), threads in 1usize..=3) {
+        use plgc::ligra::DirectionParams;
+        let pool = Pool::new(threads);
+        let dirs = [
+            DirectionParams::push_only(),
+            DirectionParams::pull_only(),
+            DirectionParams::default(),
+        ];
+
+        let nib: Vec<_> = dirs.iter().map(|&dir| {
+            lgc::nibble_par(&pool, &g, &Seed::single(v), &lgc::NibbleParams { t_max: 8, eps: 1e-6, dir })
+        }).collect();
+        let hk: Vec<_> = dirs.iter().map(|&dir| {
+            lgc::hkpr_par(&pool, &g, &Seed::single(v), &lgc::HkprParams { t: 3.0, n_levels: 8, eps: 1e-5, dir })
+        }).collect();
+        let pr: Vec<_> = dirs.iter().map(|&dir| {
+            lgc::prnibble_par(&pool, &g, &Seed::single(v), &lgc::PrNibbleParams { alpha: 0.05, eps: 1e-5, dir, ..Default::default() })
+        }).collect();
+
+        for runs in [&nib, &hk, &pr] {
+            for other in &runs[1..] {
+                prop_assert!(l1_distance(&runs[0], other) < 1e-9);
+            }
+        }
+        if threads == 1 {
+            // Pull replays the push accumulation order per destination.
+            prop_assert_eq!(&nib[0].p, &nib[1].p);
+            prop_assert_eq!(&hk[0].p, &hk[1].p);
+            prop_assert_eq!(nib[0].stats.pushes, nib[1].stats.pushes);
+            prop_assert_eq!(hk[0].stats.pushes, hk[1].stats.pushes);
+        }
     }
 }
 
