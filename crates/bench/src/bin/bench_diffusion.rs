@@ -11,10 +11,15 @@
 //! For every suite graph and each of Nibble / PR-Nibble / HK-PR — plus an
 //! NCP scan, the paper's high-volume workload — it times the sequential
 //! algorithm, the **push-only** parallel one (the pre-direction-
-//! optimization engine, `DirectionParams::push_only()`), and the
-//! **direction-optimized** parallel one, at 1, 2, and 4 threads
-//! (best-of-`reps` wall-clock). The `dir_vs_push` section reports the
-//! within-run speedup of direction optimization; with `--baseline FILE`
+//! optimization engine, `DirectionParams::push_only()`), the
+//! **direction-optimized** parallel one (cold free functions, fresh
+//! scratch per call), and the **warm-workspace** repeated-query path (a
+//! persistent `Engine` whose `Workspace` is recycled across queries), at
+//! 1, 2, and 4 threads (best-of-`reps` wall-clock; the warm engine is
+//! primed before timing, so `warm{t}_s` is the amortized per-query
+//! latency of a query stream). The `dir_vs_push` section reports the
+//! within-run speedup of direction optimization and `warm_vs_par` the
+//! speedup of workspace reuse over the cold path; with `--baseline FILE`
 //! the previous recording is embedded together with per-row speedups,
 //! which is how a PR documents its measured improvement.
 //!
@@ -24,7 +29,7 @@
 
 use lgc_bench::{suite, suite_seed, time_best_of, SuiteGraph};
 use lgc_core as lgc;
-use lgc_core::Seed;
+use lgc_core::{Engine, Seed};
 use lgc_ligra::DirectionParams;
 use lgc_parallel::Pool;
 use std::fmt::Write as _;
@@ -39,6 +44,10 @@ struct Row {
     par_s: [f64; THREADS.len()],
     /// Push-pinned parallel times (absent in pre-direction baselines).
     push_s: Option<[f64; THREADS.len()]>,
+    /// Warm-workspace repeated-query times (absent in pre-engine
+    /// baselines): the same work as `par_s`, served by a persistent
+    /// `Engine` that recycles its scratch buffers between queries.
+    warm_s: Option<[f64; THREADS.len()]>,
 }
 
 impl Row {
@@ -58,6 +67,11 @@ impl Row {
                 let _ = write!(s, ", \"push{t}_s\": {secs:.6}");
             }
         }
+        if let Some(warm_s) = self.warm_s {
+            for (t, secs) in THREADS.iter().zip(warm_s) {
+                let _ = write!(s, ", \"warm{t}_s\": {secs:.6}");
+            }
+        }
         s.push('}');
         s
     }
@@ -69,21 +83,24 @@ impl Row {
             let end = rest.find([',', '}'])?;
             Some(rest[..end].trim().trim_matches('"'))
         };
+        // Parses an optional `[f64; 3]` column family like `push{t}_s`.
+        let optional = |prefix: &str| -> Option<[f64; THREADS.len()]> {
+            let mut vals = [0.0; THREADS.len()];
+            THREADS
+                .iter()
+                .zip(vals.iter_mut())
+                .all(|(t, slot)| {
+                    field(&format!("{prefix}{t}_s"))
+                        .and_then(|v| v.parse().ok())
+                        .map(|v| *slot = v)
+                        .is_some()
+                })
+                .then_some(vals)
+        };
         let mut par_s = [0.0; THREADS.len()];
         for (slot, t) in par_s.iter_mut().zip(THREADS) {
             *slot = field(&format!("par{t}_s"))?.parse().ok()?;
         }
-        let mut push_s = [0.0; THREADS.len()];
-        let push_s = THREADS
-            .iter()
-            .zip(push_s.iter_mut())
-            .all(|(t, slot)| {
-                field(&format!("push{t}_s"))
-                    .and_then(|v| v.parse().ok())
-                    .map(|v| *slot = v)
-                    .is_some()
-            })
-            .then_some(push_s);
         Some(Row {
             graph: field("graph")?.to_string(),
             algorithm: match field("algorithm")? {
@@ -95,7 +112,8 @@ impl Row {
             },
             seq_s: field("seq_s")?.parse().ok()?,
             par_s,
-            push_s,
+            push_s: optional("push"),
+            warm_s: optional("warm"),
         })
     }
 }
@@ -104,6 +122,14 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
     let g = &sg.graph;
     let seed = Seed::single(suite_seed(g));
     let mut rows = Vec::new();
+    // One persistent engine per thread count: the warm column measures
+    // repeated queries against it, workspace recycled throughout (and
+    // kept warm across the graph's four workload rows, like a serving
+    // process would).
+    let mut engines: Vec<Engine> = THREADS
+        .iter()
+        .map(|&t| Engine::builder(g).threads(t).build())
+        .collect();
 
     let nb = lgc::NibbleParams {
         t_max: 20,
@@ -132,25 +158,39 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
     };
 
     // `None` = the algorithm's own (tuned) default direction params;
-    // `Some(push_only)` = the pre-direction-optimization engine.
+    // `Some(push_only)` = the pre-direction-optimization engine. `warm`
+    // runs the same work as `par(pool, None)` through the persistent
+    // engine at THREADS[i] — primed once before timing, so the recorded
+    // number is the amortized per-query latency with all scratch warm.
     let mut row = |algorithm: &'static str,
                    seq: &dyn Fn(),
-                   par: &dyn Fn(&Pool, Option<DirectionParams>)| {
+                   par: &dyn Fn(&Pool, Option<DirectionParams>),
+                   warm: &mut dyn FnMut(usize)| {
         let (_, seq_s) = time_best_of(reps, seq);
         let mut par_s = [0.0; THREADS.len()];
         let mut push_s = [0.0; THREADS.len()];
-        for ((dir_slot, push_slot), pool) in par_s.iter_mut().zip(push_s.iter_mut()).zip(pools) {
+        let mut warm_s = [0.0; THREADS.len()];
+        for (i, ((dir_slot, push_slot), pool)) in par_s
+            .iter_mut()
+            .zip(push_s.iter_mut())
+            .zip(pools)
+            .enumerate()
+        {
             let (_, secs) = time_best_of(reps, || par(pool, None));
             *dir_slot = secs;
             let (_, secs) = time_best_of(reps, || par(pool, Some(DirectionParams::push_only())));
             *push_slot = secs;
+            warm(i); // prime the workspace
+            let (_, secs) = time_best_of(reps, || warm(i));
+            warm_s[i] = secs;
         }
         eprintln!(
-            "  {:<10} seq {:>8.1}ms  dir {:?}ms  push {:?}ms",
+            "  {:<10} seq {:>8.1}ms  dir {:?}ms  push {:?}ms  warm {:?}ms",
             algorithm,
             seq_s * 1e3,
             par_s.map(|s| (s * 1e4).round() / 10.0),
-            push_s.map(|s| (s * 1e4).round() / 10.0)
+            push_s.map(|s| (s * 1e4).round() / 10.0),
+            warm_s.map(|s| (s * 1e4).round() / 10.0)
         );
         rows.push(Row {
             graph: sg.name.to_string(),
@@ -158,6 +198,7 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
             seq_s,
             par_s,
             push_s: Some(push_s),
+            warm_s: Some(warm_s),
         });
     };
 
@@ -170,6 +211,9 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
             let dir = dir.unwrap_or(nb.dir);
             lgc::nibble_par(pool, g, &seed, &lgc::NibbleParams { dir, ..nb });
         },
+        &mut |i| {
+            engines[i].diffuse(&seed, &lgc::Algorithm::Nibble(nb));
+        },
     );
     row(
         "prnibble",
@@ -179,6 +223,9 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
         &|pool, dir| {
             let dir = dir.unwrap_or(pr.dir);
             lgc::prnibble_par(pool, g, &seed, &lgc::PrNibbleParams { dir, ..pr });
+        },
+        &mut |i| {
+            engines[i].diffuse(&seed, &lgc::Algorithm::PrNibble(pr));
         },
     );
     row(
@@ -190,6 +237,9 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
             let dir = dir.unwrap_or(hk.dir);
             lgc::hkpr_par(pool, g, &seed, &lgc::HkprParams { dir, ..hk });
         },
+        &mut |i| {
+            engines[i].diffuse(&seed, &lgc::Algorithm::Hkpr(hk));
+        },
     );
     let seq_pool = Pool::sequential();
     row(
@@ -200,6 +250,9 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
         &|pool, dir| {
             let dir = dir.unwrap_or(ncp.dir);
             lgc::ncp_prnibble(pool, g, &lgc::NcpParams { dir, ..ncp.clone() });
+        },
+        &mut |i| {
+            engines[i].ncp(&ncp);
         },
     );
     rows
@@ -304,6 +357,29 @@ fn main() {
         })
         .collect();
     let _ = writeln!(json, "{}", dir_lines.join(",\n"));
+    json.push_str("  ],\n");
+    // Amortized warm-workspace speedup: cold free-function time over
+    // warm repeated-query time, per thread count (≥ 1 means workspace
+    // reuse won; the acceptance bar is warm ≤ cold on every graph).
+    let _ = writeln!(json, "  \"warm_vs_par\": [");
+    let warm_lines: Vec<String> = rows
+        .iter()
+        .filter_map(|row| {
+            let warm_s = row.warm_s?;
+            let mut s = String::new();
+            let _ = write!(
+                s,
+                "    {{\"graph\": \"{}\", \"algorithm\": \"{}\"",
+                row.graph, row.algorithm
+            );
+            for (i, t) in THREADS.iter().enumerate() {
+                let _ = write!(s, ", \"par{t}\": {:.3}", row.par_s[i] / warm_s[i]);
+            }
+            s.push('}');
+            Some(s)
+        })
+        .collect();
+    let _ = writeln!(json, "{}", warm_lines.join(",\n"));
     json.push_str("  ]");
     if let Some((path, base_rows)) = &baseline {
         json.push_str(",\n");

@@ -6,77 +6,151 @@
 //! have many input parameters ... it may be hard to know a priori how to
 //! set the input parameters for the multiple independent computations."
 //!
-//! This module provides that straightforward mode — each query runs the
-//! *sequential* algorithm, and the queries are spread across the pool —
-//! so users with embarrassingly-many queries (e.g. NCP-style scans with
-//! known parameters) can saturate their machine, while interactive
-//! single-query workloads use the paper's intra-query parallel
-//! algorithms. The two modes compose the same primitives, so comparing
-//! them (see the `prnibble_beta`/`diffusion` benches) quantifies the
-//! paper's §1 trade-off on real hardware.
+//! This module provides that straightforward mode, generalized to *any*
+//! algorithm: [`run_batch`] fans a list of [`Query`]s (any mix of the
+//! five diffusions) across the pool's threads. Each worker chunk owns a
+//! private [`Workspace`](crate::Workspace) recycled from query to query,
+//! and runs every query through the same unified pipeline as
+//! [`Engine::run`](crate::Engine::run) on a single-threaded pool — so a
+//! batch item is **bit-identical to a 1-thread engine run of the same
+//! query**, and the whole batch is deterministic and thread-count
+//! independent. Users with embarrassingly-many queries (e.g. NCP-style
+//! scans with known parameters) saturate their machine this way, while
+//! interactive single-query workloads use the paper's intra-query
+//! parallel algorithms; the two modes compose the same primitives, so
+//! comparing them quantifies the paper's §1 trade-off on real hardware.
 
-use crate::prnibble::{prnibble_seq, PrNibbleParams};
+use crate::engine::{run_query, Query, Workspace};
 use crate::result::ClusterResult;
-use crate::seed::Seed;
-use crate::sweep::sweep_cut_seq;
 use lgc_graph::Graph;
-use lgc_parallel::{map_index, Pool};
+use lgc_ligra::DirectionParams;
+use lgc_parallel::{Pool, UnsafeSlice};
 
-/// One clustering query: a seed set plus PR-Nibble parameters.
-#[derive(Clone, Debug)]
-pub struct Query {
-    /// Where the diffusion starts.
-    pub seed: Seed,
-    /// PR-Nibble parameters for this query.
-    pub params: PrNibbleParams,
-}
-
-/// Runs many independent PR-Nibble + sweep queries, one sequential
-/// pipeline per query, distributed across the pool's threads.
+/// Runs many independent queries, one single-threaded unified pipeline
+/// per query, distributed across the pool's threads with per-worker
+/// recycled workspaces.
 ///
 /// Results are position-aligned with `queries` and bit-identical to
-/// running each query alone (each pipeline is fully deterministic), so
-/// the output does not depend on the thread count — verified by test.
+/// running each query alone on a 1-thread engine (workspace recycling is
+/// observationally invisible — see the workspace-reuse proptests), so
+/// the output does not depend on the thread count.
+pub fn run_batch(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult> {
+    run_batch_dir(pool, g, queries, None)
+}
+
+/// [`run_batch`] with an optional engine-level direction override
+/// applied to every query.
+pub(crate) fn run_batch_dir(
+    pool: &Pool,
+    g: &Graph,
+    queries: &[Query],
+    dir: Option<DirectionParams>,
+) -> Vec<ClusterResult> {
+    use crate::engine::LocalDiffusion as _;
+    let n = queries.len();
+    let mut out: Vec<Option<ClusterResult>> = (0..n).map(|_| None).collect();
+    {
+        let view = UnsafeSlice::new(&mut out);
+        // Chunks big enough that each worker's workspace amortizes over
+        // several queries, small enough to load-balance uneven queries.
+        let grain = n.div_ceil(pool.num_threads() * 4).max(1);
+        pool.run(n, grain, |s, e| {
+            // Per-worker-chunk state: an inline sequential sub-pool (no
+            // threads spawned) plus a workspace recycled across the
+            // chunk's queries.
+            let sub = Pool::sequential();
+            let mut ws = Workspace::new();
+            // Global index i addresses both `queries` and the output.
+            #[allow(clippy::needless_range_loop)]
+            for i in s..e {
+                let q = &queries[i];
+                let algo = match dir {
+                    Some(d) => q.algo.with_direction(d),
+                    None => q.algo.clone(),
+                };
+                let result = run_query(&sub, g, &mut ws, &q.seed, &algo);
+                // SAFETY: each query index is written exactly once.
+                unsafe { view.write(i, Some(result)) };
+            }
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("every query executed"))
+        .collect()
+}
+
+/// Legacy name for [`run_batch`] from when batch execution was
+/// PR-Nibble-only; it now accepts any mix of algorithms. Prefer
+/// [`Engine::run_batch`](crate::Engine::run_batch), which carries the
+/// pool and graph for you.
 pub fn batch_prnibble(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult> {
-    map_index(pool, queries.len(), |i| {
-        let q = &queries[i];
-        let diffusion = prnibble_seq(g, &q.seed, &q.params);
-        let sweep = sweep_cut_seq(g, &diffusion.p);
-        ClusterResult::new(diffusion, sweep)
-    })
+    run_batch(pool, g, queries)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{
+        Algorithm, Engine, EvolvingParams, HkprParams, NibbleParams, PrNibbleParams,
+        RandHkprParams, Seed,
+    };
     use lgc_graph::gen;
 
     fn queries(n: u32) -> Vec<Query> {
         (0..n)
-            .map(|i| Query {
-                seed: Seed::single(i * 7 % 160),
-                params: PrNibbleParams {
-                    alpha: 0.05,
-                    eps: 1e-6,
-                    ..Default::default()
-                },
+            .map(|i| {
+                let seed = Seed::single(i * 7 % 160);
+                // Cycle through all five algorithms — batch execution is
+                // algorithm-generic now.
+                let algo = match i % 5 {
+                    0 => Algorithm::PrNibble(PrNibbleParams {
+                        alpha: 0.05,
+                        eps: 1e-6,
+                        ..Default::default()
+                    }),
+                    1 => Algorithm::Nibble(NibbleParams {
+                        t_max: 10,
+                        eps: 1e-6,
+                        ..Default::default()
+                    }),
+                    2 => Algorithm::Hkpr(HkprParams {
+                        t: 4.0,
+                        n_levels: 8,
+                        eps: 1e-5,
+                        ..Default::default()
+                    }),
+                    3 => Algorithm::RandHkpr(RandHkprParams {
+                        walks: 2_000,
+                        rng_seed: i as u64,
+                        ..Default::default()
+                    }),
+                    _ => Algorithm::Evolving(EvolvingParams {
+                        max_steps: 15,
+                        rng_seed: i as u64,
+                        ..Default::default()
+                    }),
+                };
+                Query::new(seed, algo)
             })
             .collect()
     }
 
+    /// The batch contract: each item is bit-identical to running its
+    /// query alone on a single-threaded engine.
     #[test]
-    fn batch_matches_individual_runs() {
+    fn batch_matches_individual_one_thread_engine_runs() {
         let (g, _) = gen::sbm(&[40, 40, 40, 40], 0.3, 0.01, 8);
-        let qs = queries(12);
+        let qs = queries(10);
         let pool = Pool::new(2);
-        let batch = batch_prnibble(&pool, &g, &qs);
-        assert_eq!(batch.len(), 12);
+        let batch = run_batch(&pool, &g, &qs);
+        assert_eq!(batch.len(), 10);
+        let mut engine = Engine::builder(&g).threads(1).build();
         for (q, got) in qs.iter().zip(&batch) {
-            let d = prnibble_seq(&g, &q.seed, &q.params);
-            let s = sweep_cut_seq(&g, &d.p);
-            assert_eq!(got.cluster, s.cluster());
-            assert_eq!(got.conductance, s.best_conductance);
-            assert_eq!(got.diffusion.p, d.p);
+            let want = engine.run(q);
+            assert_eq!(got.cluster, want.cluster, "{:?}", q.algo);
+            assert_eq!(got.conductance, want.conductance);
+            assert_eq!(got.diffusion.p, want.diffusion.p);
+            assert_eq!(got.diffusion.stats, want.diffusion.stats);
         }
     }
 
@@ -84,19 +158,33 @@ mod tests {
     fn batch_is_thread_count_independent() {
         let g = gen::rand_local(500, 5, 4);
         let qs = queries(9);
-        let base = batch_prnibble(&Pool::new(1), &g, &qs);
+        let base = run_batch(&Pool::new(1), &g, &qs);
         for threads in [2, 4] {
-            let got = batch_prnibble(&Pool::new(threads), &g, &qs);
+            let got = run_batch(&Pool::new(threads), &g, &qs);
             for (a, b) in base.iter().zip(&got) {
                 assert_eq!(a.cluster, b.cluster, "threads={threads}");
                 assert_eq!(a.conductance, b.conductance);
+                assert_eq!(a.diffusion.p, b.diffusion.p);
             }
         }
     }
 
     #[test]
+    fn legacy_name_still_works() {
+        let g = gen::cycle(40);
+        let qs = vec![Query::new(
+            Seed::single(3),
+            Algorithm::PrNibble(PrNibbleParams::default()),
+        )];
+        let a = batch_prnibble(&Pool::new(2), &g, &qs);
+        let b = run_batch(&Pool::new(2), &g, &qs);
+        assert_eq!(a[0].cluster, b[0].cluster);
+        assert_eq!(a[0].conductance, b[0].conductance);
+    }
+
+    #[test]
     fn empty_batch() {
         let g = gen::cycle(10);
-        assert!(batch_prnibble(&Pool::new(2), &g, &[]).is_empty());
+        assert!(run_batch(&Pool::new(2), &g, &[]).is_empty());
     }
 }

@@ -1,0 +1,657 @@
+//! The query engine: one reusable entry point for every local diffusion.
+//!
+//! The paper frames Nibble, PR-Nibble, HK-PR, rand-HK-PR, and the
+//! evolving-set process as one family of local diffusions over the same
+//! frontier framework, and its motivating workload is a stream of
+//! interactive queries ("an analyst would run a computation, study the
+//! result, and based on that determine what computation to run next").
+//! Serving that stream with free functions means rebuilding every piece
+//! of scratch state — mass tables, frontier bitsets, vertex-indexed
+//! contribution slices, sweep rank tables — on every call, even though
+//! all of it is reusable across queries against the same graph.
+//!
+//! [`Engine`] fixes that: an owned handle bundling a [`Pool`], a
+//! `&Graph`, and a [`Workspace`] of recyclable buffers, built once and
+//! then hit with any number of queries:
+//!
+//! ```
+//! use lgc_core::{Algorithm, Engine, PrNibbleParams, Query, Seed};
+//! let g = lgc_graph::gen::two_cliques_bridge(12);
+//! let mut engine = Engine::builder(&g).threads(2).build();
+//! let result = engine.run(&Query::new(
+//!     Seed::single(3),
+//!     Algorithm::PrNibble(PrNibbleParams::default()),
+//! ));
+//! assert_eq!(result.cluster.len(), 12);
+//! ```
+//!
+//! Every algorithm implements the [`LocalDiffusion`] trait (seed →
+//! params → diffusion over the shared workspace), and an [`Engine`] query
+//! is *bit-identical* to the corresponding free function: the workspace
+//! checkout path ([`lgc_sparse::MassMap::recycle`],
+//! [`lgc_ligra::Frontier::recycle`]) re-fits each recycled buffer so it
+//! is observationally indistinguishable from a fresh allocation. Warm
+//! queries simply skip the allocator.
+//!
+//! Batch execution generalizes to any algorithm through
+//! [`Engine::run_batch`] / [`run_batch`]: queries are fanned across the
+//! pool's threads, each worker chunk recycling its own private
+//! [`Workspace`] from query to query (see [`crate::batch`] for the
+//! inter- vs intra-query parallelism trade-off the paper discusses).
+
+use crate::batch::run_batch_dir;
+use crate::evolving::evolving_set_par_ws;
+use crate::ncp::{ncp_prnibble_ws, NcpParams, NcpPoint};
+use crate::result::{ClusterResult, Diffusion};
+use crate::seed::Seed;
+use crate::sweep::sweep_cut_par_ws;
+use crate::{Algorithm, EvolvingParams, HkprParams, NibbleParams, PrNibbleParams, RandHkprParams};
+use lgc_graph::Graph;
+use lgc_ligra::{DirectionParams, Frontier, VertexSubset};
+use lgc_parallel::{Bitset, Pool};
+use lgc_sparse::{ConcurrentRankMap, ConcurrentSparseVec, MassMap};
+
+/// A pool of recyclable scratch buffers shared by every diffusion.
+///
+/// Checked-out buffers are re-fitted so a warm checkout is observationally
+/// identical to a fresh allocation (same backend mode, same hash-table
+/// capacity, cleared contents) — the invariant that makes workspace-reusing
+/// runs bit-identical to cold free-function runs, enforced by the
+/// workspace-reuse proptests. What is actually recycled:
+///
+/// * dense/sparse [`MassMap`] arenas (including their `O(n)` dense-mode
+///   buffers — the expensive part of a high-volume query);
+/// * [`Frontier`]s with their lazily-built bitsets, and standalone
+///   [`Bitset`]s (PR-Nibble's receiver set);
+/// * vertex-indexed `f64` contribution slices for the dense pull engines
+///   (never zeroed: stale slots are gated off by the frontier bitset);
+/// * rand-HK-PR's walk-destination buffer and compaction table, the
+///   evolving-set neighbor counter, and the sweep's rank table.
+///
+/// Most callers never touch this type directly — [`Engine`] owns one —
+/// but [`LocalDiffusion::diffuse`] takes it explicitly so custom drivers
+/// (benchmark harnesses, batch executors) can manage their own.
+#[derive(Default)]
+pub struct Workspace {
+    mass: Vec<MassMap>,
+    frontiers: Vec<Frontier>,
+    bitsets: Vec<Bitset>,
+    dense: Vec<Vec<f64>>,
+    /// rand-HK-PR per-walk `(destination, steps)` buffer.
+    pub(crate) walks: Vec<(u32, u32)>,
+    /// rand-HK-PR destination-compaction table.
+    pub(crate) rank: Option<ConcurrentRankMap>,
+    /// Sweep-cut rank table (order → rank assignment).
+    pub(crate) sweep_rank: Option<ConcurrentRankMap>,
+    /// Evolving-set `|N(v) ∩ S|` counter.
+    pub(crate) counts: Option<ConcurrentSparseVec>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are allocated lazily by the first
+    /// query and recycled by every query after it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a mass map re-fitted exactly as
+    /// `MassMap::with_dense_fraction(n, bound, frac)` would build it.
+    pub(crate) fn take_mass(&mut self, pool: &Pool, n: usize, bound: usize, frac: f64) -> MassMap {
+        match self.mass.pop() {
+            Some(mut m) => {
+                m.recycle(pool, n, bound, frac);
+                m
+            }
+            None => MassMap::with_dense_fraction(n, bound, frac),
+        }
+    }
+
+    /// Returns a mass map to the pool (contents are cleared at the next
+    /// checkout, so nothing needs to happen here).
+    pub(crate) fn put_mass(&mut self, m: MassMap) {
+        self.mass.push(m);
+    }
+
+    /// Checks out an empty frontier (recycled ones keep their allocated,
+    /// already-zeroed bitset).
+    pub(crate) fn take_frontier(&mut self) -> Frontier {
+        self.frontiers
+            .pop()
+            .unwrap_or_else(|| Frontier::from_subset(VertexSubset::empty()))
+    }
+
+    /// Returns a frontier, clearing its members (`O(len)`) so the cached
+    /// bitset is back to all-zero for the next checkout.
+    pub(crate) fn put_frontier(&mut self, pool: &Pool, mut f: Frontier) {
+        f.recycle(pool);
+        self.frontiers.push(f);
+    }
+
+    /// Checks out a clean bitset over universe `n` if one is pooled
+    /// (callers allocate lazily on `None`, preserving the cold path's
+    /// "only pay `O(n/64)` if the query actually pulls" behavior).
+    pub(crate) fn take_bitset(&mut self, n: usize) -> Option<Bitset> {
+        let i = self.bitsets.iter().position(|b| b.universe() == n)?;
+        Some(self.bitsets.swap_remove(i))
+    }
+
+    /// Returns a bitset. Invariant: every word must be zero again (the
+    /// diffusions clear receivers by the sorted id list they extracted).
+    pub(crate) fn put_bitset(&mut self, b: Bitset) {
+        self.bitsets.push(b);
+    }
+
+    /// Checks out a vertex-indexed `f64` scratch slice. Contents are
+    /// arbitrary stale values — every consumer writes its frontier's
+    /// slots before reading and gates reads through the frontier bitset.
+    pub(crate) fn take_dense(&mut self) -> Vec<f64> {
+        self.dense.pop().unwrap_or_default()
+    }
+
+    /// Returns a dense scratch slice (kept dirty by design).
+    pub(crate) fn put_dense(&mut self, v: Vec<f64>) {
+        self.dense.push(v);
+    }
+}
+
+/// A local diffusion algorithm: seed → parameters (`self`) → sparse mass
+/// vector, computed over a recyclable [`Workspace`].
+///
+/// Implemented by all five of the paper's processes — [`NibbleParams`],
+/// [`PrNibbleParams`], [`HkprParams`], [`RandHkprParams`],
+/// [`EvolvingParams`] — and by [`Algorithm`] itself (dispatching to the
+/// wrapped params), which is what [`Engine`] runs.
+pub trait LocalDiffusion {
+    /// Short algorithm name for logs and benchmark labels.
+    fn name(&self) -> &'static str;
+
+    /// Runs the work-efficient parallel algorithm from `seed`, checking
+    /// scratch buffers out of `ws` (and returning them) instead of
+    /// allocating. Passing a fresh [`Workspace`] is exactly the free
+    /// function; passing a warm one gives the same bits without the
+    /// allocator traffic.
+    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion;
+
+    /// Runs the sequential reference implementation (fresh state).
+    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion;
+
+    /// A copy of the parameters with the direction-optimization knob
+    /// replaced — the hook [`Engine`]'s global direction override uses.
+    /// Algorithms without an `edgeMap` traversal (rand-HK-PR walks its
+    /// edges one vertex at a time) return themselves unchanged.
+    fn with_direction(&self, dir: DirectionParams) -> Self
+    where
+        Self: Sized;
+}
+
+impl LocalDiffusion for NibbleParams {
+    fn name(&self) -> &'static str {
+        "nibble"
+    }
+    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+        crate::nibble::nibble_par_ws(pool, g, seed, self, ws)
+    }
+    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+        crate::nibble::nibble_seq(g, seed, self)
+    }
+    fn with_direction(&self, dir: DirectionParams) -> Self {
+        NibbleParams { dir, ..*self }
+    }
+}
+
+impl LocalDiffusion for PrNibbleParams {
+    fn name(&self) -> &'static str {
+        "prnibble"
+    }
+    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+        crate::prnibble::prnibble_par_ws(pool, g, seed, self, ws)
+    }
+    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+        crate::prnibble::prnibble_seq(g, seed, self)
+    }
+    fn with_direction(&self, dir: DirectionParams) -> Self {
+        PrNibbleParams { dir, ..*self }
+    }
+}
+
+impl LocalDiffusion for HkprParams {
+    fn name(&self) -> &'static str {
+        "hkpr"
+    }
+    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+        crate::hkpr::hkpr_par_ws(pool, g, seed, self, ws)
+    }
+    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+        crate::hkpr::hkpr_seq(g, seed, self)
+    }
+    fn with_direction(&self, dir: DirectionParams) -> Self {
+        HkprParams { dir, ..*self }
+    }
+}
+
+impl LocalDiffusion for RandHkprParams {
+    fn name(&self) -> &'static str {
+        "rand-hkpr"
+    }
+    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+        crate::rand_hkpr::rand_hkpr_par_ws(pool, g, seed, self, ws)
+    }
+    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+        crate::rand_hkpr::rand_hkpr_seq(g, seed, self)
+    }
+    /// Monte-Carlo walks have no frontier traversal to direction-optimize.
+    fn with_direction(&self, _dir: DirectionParams) -> Self {
+        *self
+    }
+}
+
+impl LocalDiffusion for EvolvingParams {
+    fn name(&self) -> &'static str {
+        "evolving"
+    }
+    /// The evolving-set process selects a *set*, not a mass vector; as a
+    /// diffusion it yields the membership indicator of its best set (mass
+    /// `1/|S|` per member). [`Engine::run`] bypasses the sweep for it and
+    /// reports the set directly.
+    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+        evolving_set_par_ws(pool, g, seed, self, ws).indicator()
+    }
+    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+        crate::evolving::evolving_set_seq(g, seed, self).indicator()
+    }
+    fn with_direction(&self, dir: DirectionParams) -> Self {
+        EvolvingParams { dir, ..*self }
+    }
+}
+
+impl LocalDiffusion for Algorithm {
+    fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Nibble(p) => p.name(),
+            Algorithm::PrNibble(p) => p.name(),
+            Algorithm::Hkpr(p) => p.name(),
+            Algorithm::RandHkpr(p) => p.name(),
+            Algorithm::Evolving(p) => p.name(),
+        }
+    }
+    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+        match self {
+            Algorithm::Nibble(p) => p.diffuse(pool, g, seed, ws),
+            Algorithm::PrNibble(p) => p.diffuse(pool, g, seed, ws),
+            Algorithm::Hkpr(p) => p.diffuse(pool, g, seed, ws),
+            Algorithm::RandHkpr(p) => p.diffuse(pool, g, seed, ws),
+            Algorithm::Evolving(p) => p.diffuse(pool, g, seed, ws),
+        }
+    }
+    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+        match self {
+            Algorithm::Nibble(p) => p.diffuse_seq(g, seed),
+            Algorithm::PrNibble(p) => p.diffuse_seq(g, seed),
+            Algorithm::Hkpr(p) => p.diffuse_seq(g, seed),
+            Algorithm::RandHkpr(p) => p.diffuse_seq(g, seed),
+            Algorithm::Evolving(p) => p.diffuse_seq(g, seed),
+        }
+    }
+    fn with_direction(&self, dir: DirectionParams) -> Self {
+        match self {
+            Algorithm::Nibble(p) => Algorithm::Nibble(p.with_direction(dir)),
+            Algorithm::PrNibble(p) => Algorithm::PrNibble(p.with_direction(dir)),
+            Algorithm::Hkpr(p) => Algorithm::Hkpr(p.with_direction(dir)),
+            Algorithm::RandHkpr(p) => Algorithm::RandHkpr(p.with_direction(dir)),
+            Algorithm::Evolving(p) => Algorithm::Evolving(p.with_direction(dir)),
+        }
+    }
+}
+
+/// One clustering query: a seed set plus the algorithm (with parameters)
+/// to diffuse with.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Where the diffusion starts.
+    pub seed: Seed,
+    /// Which diffusion to run, with its parameters.
+    pub algo: Algorithm,
+}
+
+impl Query {
+    /// A query running `algo` from `seed`.
+    pub fn new(seed: Seed, algo: Algorithm) -> Self {
+        Query { seed, algo }
+    }
+}
+
+/// One full query: diffusion + rounding, over a shared workspace. The
+/// single code path behind [`crate::find_cluster`], [`Engine::run`], and
+/// each batch worker — which is what makes the three agree bit-for-bit.
+pub(crate) fn run_query(
+    pool: &Pool,
+    g: &Graph,
+    ws: &mut Workspace,
+    seed: &Seed,
+    algo: &Algorithm,
+) -> ClusterResult {
+    match algo {
+        Algorithm::Evolving(p) => {
+            ClusterResult::from_evolving(evolving_set_par_ws(pool, g, seed, p, ws))
+        }
+        _ => {
+            let diffusion = algo.diffuse(pool, g, seed, ws);
+            let sweep = sweep_cut_par_ws(pool, g, &diffusion.p, &mut ws.sweep_rank);
+            ClusterResult::new(diffusion, sweep)
+        }
+    }
+}
+
+/// Builds an [`Engine`]; obtained from [`Engine::builder`].
+pub struct EngineBuilder<'g> {
+    g: &'g Graph,
+    threads: Option<usize>,
+    pool: Option<Pool>,
+    dir: Option<DirectionParams>,
+}
+
+impl<'g> EngineBuilder<'g> {
+    /// Exact thread count for the engine's pool (`Pool::new` semantics:
+    /// not clamped to the machine, so benchmark sweeps stay comparable
+    /// across hosts). Default: one thread per available core.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Adopts an already-built pool (overrides [`Self::threads`]).
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Overrides the direction-optimization knob of *every* query run
+    /// through the engine, replacing the per-algorithm tuned defaults —
+    /// e.g. `DirectionParams::push_only()` to benchmark the
+    /// pre-direction-optimization engine fleet-wide.
+    pub fn direction(mut self, dir: DirectionParams) -> Self {
+        self.dir = Some(dir);
+        self
+    }
+
+    /// Builds the engine (spawning the pool's workers if needed).
+    pub fn build(self) -> Engine<'g> {
+        let pool = self.pool.unwrap_or_else(|| match self.threads {
+            Some(t) => Pool::new(t),
+            None => Pool::with_default_threads(),
+        });
+        Engine {
+            g: self.g,
+            pool,
+            dir: self.dir,
+            ws: Workspace::new(),
+        }
+    }
+}
+
+/// An owned query handle over one graph: a thread [`Pool`], the graph,
+/// and a [`Workspace`] of recyclable buffers. Build once, query many
+/// times; see the crate docs for the full story.
+///
+/// Queries through a warm engine return results bit-identical to the
+/// corresponding free functions (`prnibble_par` + `sweep_cut_par`, …) —
+/// the workspace is invisible in the output, only in the allocator
+/// profile and the amortized per-query latency (`bench_diffusion`
+/// records the warm column).
+pub struct Engine<'g> {
+    g: &'g Graph,
+    pool: Pool,
+    dir: Option<DirectionParams>,
+    ws: Workspace,
+}
+
+impl<'g> Engine<'g> {
+    /// Starts building an engine over `g`.
+    pub fn builder(g: &'g Graph) -> EngineBuilder<'g> {
+        EngineBuilder {
+            g,
+            threads: None,
+            pool: None,
+            dir: None,
+        }
+    }
+
+    /// An engine over `g` with default settings (machine-sized pool).
+    pub fn new(g: &'g Graph) -> Self {
+        Self::builder(g).build()
+    }
+
+    /// The graph this engine serves queries against.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The engine's thread pool.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Total threads participating in each query.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Applies the engine-level direction override, if any.
+    fn resolve(&self, algo: &Algorithm) -> Algorithm {
+        match self.dir {
+            Some(dir) => algo.with_direction(dir),
+            None => algo.clone(),
+        }
+    }
+
+    /// Runs one full query — diffusion plus sweep-cut rounding (the
+    /// evolving-set process reports its best set directly; see
+    /// [`ClusterResult::from_evolving`]) — reusing the engine's
+    /// workspace. Equivalent to [`crate::find_cluster`], minus the
+    /// allocations.
+    pub fn run(&mut self, query: &Query) -> ClusterResult {
+        let algo = self.resolve(&query.algo);
+        run_query(&self.pool, self.g, &mut self.ws, &query.seed, &algo)
+    }
+
+    /// Runs just the diffusion of `algo` from `seed` (no sweep), reusing
+    /// the engine's workspace. Equivalent to the algorithm's `*_par` free
+    /// function.
+    pub fn diffuse(&mut self, seed: &Seed, algo: &Algorithm) -> Diffusion {
+        self.resolve(algo)
+            .diffuse(&self.pool, self.g, seed, &mut self.ws)
+    }
+
+    /// Runs many independent queries — any mix of algorithms — fanned
+    /// across the pool's threads, each worker chunk recycling a private
+    /// workspace from query to query. Results are position-aligned with
+    /// `queries`, thread-count independent, and bit-identical to running
+    /// each query alone on a single-threaded engine (see
+    /// [`crate::run_batch`] for the contract).
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<ClusterResult> {
+        run_batch_dir(&self.pool, self.g, queries, self.dir)
+    }
+
+    /// Computes a network community profile (§4) with PR-Nibble
+    /// diffusions, reusing the engine's workspace across the whole
+    /// seed × α × ε grid — the highest-leverage consumer of workspace
+    /// recycling, since an NCP scan is hundreds of back-to-back queries.
+    pub fn ncp(&mut self, params: &NcpParams) -> Vec<NcpPoint> {
+        let params = match self.dir {
+            Some(dir) => NcpParams {
+                dir,
+                ..params.clone()
+            },
+            None => params.clone(),
+        };
+        ncp_prnibble_ws(&self.pool, self.g, &params, &mut self.ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        evolving_set_par, find_cluster, hkpr_par, nibble_par, prnibble_par, rand_hkpr_par,
+    };
+    use lgc_graph::gen;
+
+    fn algorithms() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Nibble(NibbleParams {
+                t_max: 12,
+                eps: 1e-7,
+                ..Default::default()
+            }),
+            Algorithm::PrNibble(PrNibbleParams {
+                alpha: 0.05,
+                eps: 1e-6,
+                ..Default::default()
+            }),
+            Algorithm::Hkpr(HkprParams {
+                t: 6.0,
+                n_levels: 12,
+                eps: 1e-6,
+                ..Default::default()
+            }),
+            Algorithm::RandHkpr(RandHkprParams {
+                walks: 5_000,
+                ..Default::default()
+            }),
+            Algorithm::Evolving(EvolvingParams {
+                max_steps: 25,
+                rng_seed: 9,
+                ..Default::default()
+            }),
+        ]
+    }
+
+    /// A warm engine must return exactly what the free functions return:
+    /// interleave all five algorithms twice over the same engine and
+    /// compare every run against a cold `find_cluster` (1 thread ⇒ fully
+    /// deterministic, so "identical" means bit-identical).
+    #[test]
+    fn warm_engine_matches_free_functions_bitwise_at_one_thread() {
+        let g = gen::rmat_graph500(9, 8, 21);
+        let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
+        let mut engine = Engine::builder(&g).threads(1).build();
+        for round in 0..2 {
+            for algo in algorithms() {
+                let warm = engine.run(&Query::new(seed.clone(), algo.clone()));
+                let pool = Pool::new(1);
+                let cold = find_cluster(&pool, &g, &seed, &algo);
+                assert_eq!(
+                    warm.diffusion.p,
+                    cold.diffusion.p,
+                    "{} r{round}",
+                    algo.name()
+                );
+                assert_eq!(warm.diffusion.stats, cold.diffusion.stats);
+                assert_eq!(warm.cluster, cold.cluster);
+                assert_eq!(warm.conductance, cold.conductance);
+                assert_eq!(warm.sweep.conductances, cold.sweep.conductances);
+            }
+        }
+    }
+
+    /// `engine.diffuse` is the `*_par` free function, workspace-backed.
+    #[test]
+    fn engine_diffuse_matches_par_free_functions() {
+        let g = gen::rand_local(600, 5, 3);
+        let seed = Seed::single(0);
+        let mut engine = Engine::builder(&g).threads(1).build();
+        let pool = Pool::new(1);
+        for algo in algorithms() {
+            let warm = engine.diffuse(&seed, &algo);
+            let cold = match &algo {
+                Algorithm::Nibble(p) => nibble_par(&pool, &g, &seed, p),
+                Algorithm::PrNibble(p) => prnibble_par(&pool, &g, &seed, p),
+                Algorithm::Hkpr(p) => hkpr_par(&pool, &g, &seed, p),
+                Algorithm::RandHkpr(p) => rand_hkpr_par(&pool, &g, &seed, p),
+                Algorithm::Evolving(p) => evolving_set_par(&pool, &g, &seed, p).indicator(),
+            };
+            assert_eq!(warm.p, cold.p, "{}", algo.name());
+        }
+    }
+
+    /// The evolving-set query reports the process's best set directly.
+    #[test]
+    fn evolving_query_reports_best_set() {
+        let g = gen::two_cliques_bridge(10);
+        let params = EvolvingParams {
+            max_steps: 40,
+            rng_seed: 5,
+            ..Default::default()
+        };
+        let mut engine = Engine::builder(&g).threads(2).build();
+        let got = engine.run(&Query::new(Seed::single(0), Algorithm::Evolving(params)));
+        let pool = Pool::new(2);
+        let want = evolving_set_par(&pool, &g, &Seed::single(0), &params);
+        assert_eq!(got.cluster, want.best_set);
+        assert_eq!(got.conductance, want.best_conductance);
+        assert!((got.diffusion.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    /// The engine-level direction override rewrites every algorithm's
+    /// knob (the rand-HK-PR walks have nothing to rewrite).
+    #[test]
+    fn direction_override_applies_to_all_algorithms() {
+        let pin = DirectionParams::pull_only();
+        for algo in algorithms() {
+            let pinned = algo.with_direction(pin);
+            match pinned {
+                Algorithm::Nibble(p) => assert_eq!(p.dir, pin),
+                Algorithm::PrNibble(p) => assert_eq!(p.dir, pin),
+                Algorithm::Hkpr(p) => assert_eq!(p.dir, pin),
+                Algorithm::RandHkpr(_) => {}
+                Algorithm::Evolving(p) => assert_eq!(p.dir, pin),
+            }
+        }
+        // And an engine built with the override still gets the planted
+        // cluster right (pull-pinned traversals are direction-invariant).
+        let g = gen::two_cliques_bridge(8);
+        let mut engine = Engine::builder(&g).threads(2).direction(pin).build();
+        let res = engine.run(&Query::new(
+            Seed::single(1),
+            Algorithm::PrNibble(PrNibbleParams::default()),
+        ));
+        let mut cluster = res.cluster.clone();
+        cluster.sort_unstable();
+        assert_eq!(cluster, (0..8).collect::<Vec<u32>>());
+    }
+
+    /// Builder knobs: threads and adopted pools.
+    #[test]
+    fn builder_threads_and_pool() {
+        let g = gen::cycle(10);
+        assert_eq!(Engine::builder(&g).threads(3).build().num_threads(), 3);
+        let adopted = Engine::builder(&g).pool(Pool::new(2)).build();
+        assert_eq!(adopted.num_threads(), 2);
+        assert_eq!(Engine::new(&g).graph().num_vertices(), 10);
+    }
+
+    /// `engine.ncp` equals the free `ncp_prnibble` over the same pool
+    /// shape (both fully deterministic given the RNG seed).
+    #[test]
+    fn engine_ncp_matches_free_function() {
+        let g = gen::rand_local(200, 5, 8);
+        let params = NcpParams {
+            num_seeds: 3,
+            alphas: vec![0.1],
+            epsilons: vec![1e-4],
+            rng_seed: 11,
+            ..Default::default()
+        };
+        let mut engine = Engine::builder(&g).threads(1).build();
+        let warm = engine.ncp(&params);
+        let warm_again = engine.ncp(&params);
+        let pool = Pool::new(1);
+        let cold = crate::ncp_prnibble(&pool, &g, &params);
+        assert_eq!(warm.len(), cold.len());
+        for ((a, b), c) in warm.iter().zip(&cold).zip(&warm_again) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.conductance, b.conductance, "bitwise: same pipeline");
+            assert_eq!(a.conductance, c.conductance, "warm rerun identical");
+        }
+    }
+}

@@ -19,9 +19,11 @@
 //! same random trajectory), then a parallel filter applies the threshold.
 //! The lowest-conductance set seen is tracked and returned.
 
+use crate::engine::Workspace;
+use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map, VertexSubset};
+use lgc_ligra::{edge_map, DirectionParams, VertexSubset};
 use lgc_parallel::{filter_map_index, Pool};
 use lgc_sparse::{ConcurrentSparseVec, SparseVec};
 use rand::rngs::StdRng;
@@ -37,6 +39,16 @@ pub struct EvolvingParams {
     pub target_conductance: f64,
     /// RNG seed for the threshold draws.
     pub rng_seed: u64,
+    /// Direction-optimization knob, present so the parameter surface is
+    /// uniform across all five algorithms (every param struct carries
+    /// `dir`, and `Engine::builder(..).direction(..)` rewrites them all).
+    ///
+    /// **Push-only for now**: the `|N(v) ∩ S|` count always runs as one
+    /// push `edgeMap` over `S`'s out-edges and this field is not yet
+    /// consulted — the integer counts would pull deterministically for
+    /// free, which is the ROADMAP follow-up this plumbing prepares.
+    /// Defaults to pinned push to say so honestly.
+    pub dir: DirectionParams,
 }
 
 impl Default for EvolvingParams {
@@ -45,6 +57,7 @@ impl Default for EvolvingParams {
             max_steps: 50,
             target_conductance: 0.0,
             rng_seed: 1,
+            dir: DirectionParams::push_only(),
         }
     }
 }
@@ -61,6 +74,27 @@ pub struct EvolvingResult {
     /// Size of the set at each step (diagnostic: the paper observed the
     /// trajectory "varies widely").
     pub sizes: Vec<usize>,
+}
+
+impl EvolvingResult {
+    /// The best set as a membership-indicator [`Diffusion`]: mass
+    /// `1/|S|` per member (total mass 1), `iterations` = the steps run.
+    ///
+    /// This is how the ESP fits the [`crate::LocalDiffusion`] surface —
+    /// it selects a set rather than computing a mass vector, so the
+    /// indicator is the honest translation (and sweeping it is
+    /// meaningless; [`crate::ClusterResult::from_evolving`] reports the
+    /// set directly instead).
+    pub fn indicator(&self) -> Diffusion {
+        let mass = 1.0 / self.best_set.len().max(1) as f64;
+        Diffusion::from_entries(
+            self.best_set.iter().map(|&v| (v, mass)).collect(),
+            DiffusionStats {
+                iterations: self.steps as u64,
+                ..Default::default()
+            },
+        )
+    }
 }
 
 /// `p(v, S)` for the lazy walk, from an exact `|N(v) ∩ S|` count.
@@ -129,46 +163,66 @@ pub fn evolving_set_par(
     seed: &Seed,
     params: &EvolvingParams,
 ) -> EvolvingResult {
+    evolving_set_par_ws(pool, g, seed, params, &mut Workspace::new())
+}
+
+/// [`evolving_set_par`] over a recyclable workspace: the neighbor
+/// counter is checked out of `ws` instead of allocated. The trajectory
+/// is count-exact, so workspace reuse cannot perturb it.
+pub(crate) fn evolving_set_par_ws(
+    pool: &Pool,
+    g: &Graph,
+    seed: &Seed,
+    params: &EvolvingParams,
+    ws: &mut Workspace,
+) -> EvolvingResult {
     let mut rng = StdRng::seed_from_u64(params.rng_seed);
     let mut current = VertexSubset::from_sorted(seed.vertices().to_vec());
     let mut best = snapshot(g, current.ids());
     let mut sizes = vec![current.len()];
-    let mut inside = ConcurrentSparseVec::with_capacity(16);
+    let mut inside = ws
+        .counts
+        .take()
+        .unwrap_or_else(|| ConcurrentSparseVec::with_capacity(16));
 
-    for step in 0..params.max_steps {
-        if best.1 <= params.target_conductance {
-            return finish(best, step, sizes);
-        }
-        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
-        let vol = current.volume(g);
-        inside.reset(pool, vol.max(1));
-        {
+    let steps = 'run: {
+        for step in 0..params.max_steps {
+            if best.1 <= params.target_conductance {
+                break 'run step;
+            }
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+            let vol = current.volume(g);
+            inside.reset(pool, vol.max(1));
+            {
+                let inside_ref = &inside;
+                edge_map(pool, g, &current, |_, dst| inside_ref.add(dst, 1.0));
+            }
+            let mut cands: Vec<u32> = inside.entries(pool).into_iter().map(|(v, _)| v).collect();
+            cands.extend_from_slice(current.ids());
+            cands.sort_unstable();
+            cands.dedup();
+            let member_ids = current.ids().to_vec();
             let inside_ref = &inside;
-            edge_map(pool, g, &current, |_, dst| inside_ref.add(dst, 1.0));
+            let mut next: Vec<u32> = filter_map_index(pool, cands.len(), |i| {
+                let v = cands[i];
+                let member = member_ids.binary_search(&v).is_ok();
+                (transition(member, inside_ref.get(v) as u64, g.degree(v)) >= u).then_some(v)
+            });
+            next.sort_unstable();
+            sizes.push(next.len());
+            if next.is_empty() || next.len() == g.num_vertices() {
+                break 'run step + 1;
+            }
+            let snap = snapshot(g, &next);
+            if snap.1 < best.1 {
+                best = snap;
+            }
+            current = VertexSubset::from_sorted(next);
         }
-        let mut cands: Vec<u32> = inside.entries(pool).into_iter().map(|(v, _)| v).collect();
-        cands.extend_from_slice(current.ids());
-        cands.sort_unstable();
-        cands.dedup();
-        let member_ids = current.ids().to_vec();
-        let inside_ref = &inside;
-        let mut next: Vec<u32> = filter_map_index(pool, cands.len(), |i| {
-            let v = cands[i];
-            let member = member_ids.binary_search(&v).is_ok();
-            (transition(member, inside_ref.get(v) as u64, g.degree(v)) >= u).then_some(v)
-        });
-        next.sort_unstable();
-        sizes.push(next.len());
-        if next.is_empty() || next.len() == g.num_vertices() {
-            return finish(best, step + 1, sizes);
-        }
-        let snap = snapshot(g, &next);
-        if snap.1 < best.1 {
-            best = snap;
-        }
-        current = VertexSubset::from_sorted(next);
-    }
-    finish(best, params.max_steps, sizes)
+        params.max_steps
+    };
+    ws.counts = Some(inside);
+    finish(best, steps, sizes)
 }
 
 fn snapshot(g: &Graph, set: &[u32]) -> (Vec<u32>, f64) {
@@ -245,11 +299,47 @@ mod tests {
                 max_steps: 1000,
                 target_conductance: 0.5,
                 rng_seed,
+                ..Default::default()
             };
             let res = evolving_set_seq(&g, &Seed::single(0), &params);
             res.steps < 1000 && res.best_conductance <= 0.5
         });
         assert!(hit, "no run out of 64 stopped early at target 0.5");
+    }
+
+    #[test]
+    fn indicator_is_a_unit_mass_membership_vector() {
+        let g = gen::two_cliques_bridge(6);
+        let res = evolving_set_seq(&g, &Seed::single(0), &EvolvingParams::default());
+        let d = res.indicator();
+        assert_eq!(d.support_size(), res.best_set.len());
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(d.stats.iterations, res.steps as u64);
+        for &v in &res.best_set {
+            assert!(d.mass_of(v) > 0.0);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_keeps_the_trajectory() {
+        // Interleave two different runs over one recycled workspace; each
+        // must match its fresh-workspace twin exactly (integer counts ⇒
+        // bit-equal trajectories).
+        let g = gen::rand_local(250, 5, 4);
+        let pool = Pool::new(2);
+        let mut ws = Workspace::new();
+        for rng_seed in [1u64, 8, 1, 8] {
+            let params = EvolvingParams {
+                max_steps: 20,
+                rng_seed,
+                ..Default::default()
+            };
+            let warm = evolving_set_par_ws(&pool, &g, &Seed::single(2), &params, &mut ws);
+            let cold = evolving_set_par(&pool, &g, &Seed::single(2), &params);
+            assert_eq!(warm.best_set, cold.best_set, "rng_seed={rng_seed}");
+            assert_eq!(warm.sizes, cold.sizes);
+            assert_eq!(warm.best_conductance, cold.best_conductance);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ mod par;
 mod seq;
 
 pub use par::hkpr_par;
+pub(crate) use par::hkpr_par_ws;
 pub use seq::hkpr_seq;
 
 /// Parameters for deterministic heat-kernel PageRank.

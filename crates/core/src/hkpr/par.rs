@@ -7,12 +7,11 @@
 //! the same vector (Theorem 4).
 
 use super::HkprParams;
+use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{
-    edge_map_dense, edge_map_dense_gather, edge_map_indexed, Direction, Frontier, VertexSubset,
-};
+use lgc_ligra::{edge_map_dense, edge_map_dense_gather, edge_map_indexed, Direction, VertexSubset};
 use lgc_parallel::{map_index, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
 
@@ -32,22 +31,38 @@ use lgc_sparse::MassMap;
 /// is filtered directly off `r_next`'s backend. Mass vectors are
 /// adaptive [`MassMap`]s.
 pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
+    hkpr_par_ws(pool, g, seed, params, &mut Workspace::new())
+}
+
+/// [`hkpr_par`] over a recyclable [`Workspace`]: the three mass maps, the
+/// frontier (with its bitset), and the vertex-indexed contribution slice
+/// are checked out of `ws` instead of allocated; checkouts are re-fitted
+/// to match fresh allocations exactly, so warm runs are bit-identical.
+pub(crate) fn hkpr_par_ws(
+    pool: &Pool,
+    g: &Graph,
+    seed: &Seed,
+    params: &HkprParams,
+    ws: &mut Workspace,
+) -> Diffusion {
     params.validate();
     let n = g.num_vertices();
     let n_levels = params.n_levels;
     let psi = super::psi_table(params.t, n_levels);
     let mut stats = DiffusionStats::default();
 
-    let mut r = MassMap::new(n, seed.vertices().len() * 2);
+    let frac = MassMap::DEFAULT_DENSE_FRACTION;
+    let mut r = ws.take_mass(pool, n, seed.vertices().len() * 2, frac);
     for &x in seed.vertices() {
         r.set(x, seed.mass_per_vertex());
     }
-    let mut r_next = MassMap::new(n, 16);
-    let mut p = MassMap::new(n, 16);
+    let mut r_next = ws.take_mass(pool, n, 16, frac);
+    let mut p = ws.take_mass(pool, n, 16, frac);
     // Level-0 entries are enqueued unconditionally, like the sequential
     // algorithm's initial queue.
-    let mut frontier = Frontier::from_subset(VertexSubset::from_sorted(seed.vertices().to_vec()));
-    let mut contrib_dense: Vec<f64> = Vec::new();
+    let mut frontier = ws.take_frontier();
+    frontier.advance(pool, VertexSubset::from_sorted(seed.vertices().to_vec()));
+    let mut contrib_dense: Vec<f64> = ws.take_dense();
 
     let mut j = 0usize;
     while !frontier.is_empty() {
@@ -172,6 +187,11 @@ pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Dif
             (v, m * scale)
         })
     };
+    ws.put_mass(r);
+    ws.put_mass(r_next);
+    ws.put_mass(p);
+    ws.put_frontier(pool, frontier);
+    ws.put_dense(contrib_dense);
     let mut d = Diffusion::from_entries_par(pool, entries, stats);
     d.stats.residual_mass = (1.0 - d.total_mass()).max(0.0);
     d

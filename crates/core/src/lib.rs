@@ -19,7 +19,10 @@
 //! Each diffusion returns a sparse mass vector `p` ([`Diffusion`]); the
 //! sweep cut sorts its support by `p[v]/d(v)` and returns the prefix with
 //! minimum conductance ([`SweepCut`]). The one-call convenience wrapper is
-//! [`find_cluster`].
+//! [`find_cluster`]; query loops should build an [`Engine`] instead — the
+//! same pipeline over a recyclable [`Workspace`], with every algorithm
+//! behind the [`LocalDiffusion`] trait and batch fan-out via
+//! [`Engine::run_batch`].
 //!
 //! ```
 //! use lgc_core::{find_cluster, Algorithm, PrNibbleParams, Seed};
@@ -46,6 +49,7 @@
 //! process (§5), and network-community-profile generation (§4, Fig. 12).
 
 mod batch;
+mod engine;
 mod evolving;
 mod hkpr;
 mod ncp;
@@ -56,7 +60,8 @@ mod result;
 mod seed;
 mod sweep;
 
-pub use batch::{batch_prnibble, Query};
+pub use batch::{batch_prnibble, run_batch};
+pub use engine::{Engine, EngineBuilder, LocalDiffusion, Query, Workspace};
 pub use evolving::{evolving_set_par, evolving_set_seq, EvolvingParams, EvolvingResult};
 pub use hkpr::{hkpr_par, hkpr_seq, psi_table, HkprParams};
 pub use ncp::{ncp_prnibble, NcpParams, NcpPoint};
@@ -77,6 +82,10 @@ use lgc_graph::Graph;
 use lgc_parallel::Pool;
 
 /// Which diffusion to run (with its parameters).
+///
+/// All variants implement [`LocalDiffusion`] through their parameter
+/// structs, and so does `Algorithm` itself — this enum is what
+/// [`Engine::run`] and [`find_cluster`] dispatch on.
 #[derive(Clone, Debug)]
 pub enum Algorithm {
     /// Spielman–Teng truncated lazy random walk (§3.2).
@@ -87,20 +96,19 @@ pub enum Algorithm {
     Hkpr(HkprParams),
     /// Chung–Simpson randomized heat-kernel PageRank (§3.5).
     RandHkpr(RandHkprParams),
+    /// Andersen–Peres evolving-set process (§5). Selects its cluster
+    /// directly (no sweep); see [`ClusterResult::from_evolving`].
+    Evolving(EvolvingParams),
 }
 
 /// Runs the chosen diffusion from `seed` and rounds with the parallel
 /// sweep cut — the full pipeline of the paper, in one call.
 ///
 /// With a 1-thread [`Pool`] every stage runs sequentially (the paper's
-/// `T1` configuration); with more threads every stage is parallel.
+/// `T1` configuration); with more threads every stage is parallel. This
+/// is the one-shot form of [`Engine::run`]: same code path, but scratch
+/// state is allocated fresh and dropped. Query loops should build an
+/// [`Engine`] instead and let its [`Workspace`] amortize the allocations.
 pub fn find_cluster(pool: &Pool, g: &Graph, seed: &Seed, algo: &Algorithm) -> ClusterResult {
-    let diffusion = match algo {
-        Algorithm::Nibble(p) => nibble_par(pool, g, seed, p),
-        Algorithm::PrNibble(p) => prnibble_par(pool, g, seed, p),
-        Algorithm::Hkpr(p) => hkpr_par(pool, g, seed, p),
-        Algorithm::RandHkpr(p) => rand_hkpr_par(pool, g, seed, p),
-    };
-    let sweep = sweep_cut_par(pool, g, &diffusion.p);
-    ClusterResult::new(diffusion, sweep)
+    engine::run_query(pool, g, &mut Workspace::new(), seed, algo)
 }

@@ -7,9 +7,10 @@
 //! settings and taking, for every sweep prefix, the minimum conductance
 //! seen at that prefix size. This module reproduces that procedure.
 
-use crate::prnibble::{prnibble_par, PrNibbleParams, PushRule};
+use crate::engine::Workspace;
+use crate::prnibble::{prnibble_par_ws, PrNibbleParams, PushRule};
 use crate::seed::Seed;
-use crate::sweep::sweep_cut_par;
+use crate::sweep::sweep_cut_par_ws;
 use lgc_graph::Graph;
 use lgc_parallel::Pool;
 use rand::rngs::StdRng;
@@ -62,6 +63,20 @@ pub struct NcpPoint {
 /// parallel algorithms internally (the paper's setting: one analyst
 /// query at a time, each as fast as possible).
 pub fn ncp_prnibble(pool: &Pool, g: &Graph, params: &NcpParams) -> Vec<NcpPoint> {
+    ncp_prnibble_ws(pool, g, params, &mut Workspace::new())
+}
+
+/// [`ncp_prnibble`] over a recyclable [`Workspace`]: one workspace
+/// serves the whole `seeds × α × ε` grid — hundreds of back-to-back
+/// diffusion + sweep queries, the highest-leverage consumer of buffer
+/// recycling (each grid point would otherwise rebuild its mass arenas,
+/// frontier bitsets, and sweep rank table from scratch).
+pub(crate) fn ncp_prnibble_ws(
+    pool: &Pool,
+    g: &Graph,
+    params: &NcpParams,
+    ws: &mut Workspace,
+) -> Vec<NcpPoint> {
     let n = g.num_vertices();
     assert!(n > 0, "empty graph has no profile");
     let mut rng = StdRng::seed_from_u64(params.rng_seed);
@@ -88,8 +103,8 @@ pub fn ncp_prnibble(pool: &Pool, g: &Graph, params: &NcpParams) -> Vec<NcpPoint>
                     dir: params.dir,
                     ..Default::default()
                 };
-                let d = prnibble_par(pool, g, &Seed::single(seed), &p);
-                let sweep = sweep_cut_par(pool, g, &d.p);
+                let d = prnibble_par_ws(pool, g, &Seed::single(seed), &p, ws);
+                let sweep = sweep_cut_par_ws(pool, g, &d.p, &mut ws.sweep_rank);
                 for (i, &phi) in sweep.conductances.iter().enumerate() {
                     if phi.is_finite() {
                         if best.len() <= i {

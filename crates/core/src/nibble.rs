@@ -12,6 +12,7 @@
 //! `vertexMap`/`edgeMap` per iteration: Theorem 2 gives `O(T/ε)` work and
 //! `O(T log(1/ε))` depth.
 
+use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
@@ -124,17 +125,37 @@ pub fn nibble_seq(g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
 /// the sequential update order. The next frontier is filtered straight
 /// off `p_new`'s backend (no intermediate entries vector).
 pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
+    nibble_par_ws(pool, g, seed, params, &mut Workspace::new())
+}
+
+/// [`nibble_par`] over a recyclable [`Workspace`]: both mass maps, the
+/// frontier (with its bitset), and the vertex-indexed share slice are
+/// checked out of `ws` instead of allocated; checkouts are re-fitted to
+/// match fresh allocations exactly, so warm runs are bit-identical.
+pub(crate) fn nibble_par_ws(
+    pool: &Pool,
+    g: &Graph,
+    seed: &Seed,
+    params: &NibbleParams,
+    ws: &mut Workspace,
+) -> Diffusion {
     let eps = params.eps;
     let n = g.num_vertices();
     let mut stats = DiffusionStats::default();
 
-    let mut p = MassMap::new(n, seed.vertices().len());
+    let mut p = ws.take_mass(
+        pool,
+        n,
+        seed.vertices().len(),
+        MassMap::DEFAULT_DENSE_FRACTION,
+    );
     for &x in seed.vertices() {
         p.set(x, seed.mass_per_vertex());
     }
-    let mut frontier = Frontier::from_subset(VertexSubset::from_sorted(active_seed(g, seed, eps)));
-    let mut p_new = MassMap::new(n, 16);
-    let mut share_dense: Vec<f64> = Vec::new();
+    let mut frontier = ws.take_frontier();
+    frontier.advance(pool, VertexSubset::from_sorted(active_seed(g, seed, eps)));
+    let mut p_new = ws.take_mass(pool, n, 16, MassMap::DEFAULT_DENSE_FRACTION);
+    let mut share_dense: Vec<f64> = ws.take_dense();
 
     for _ in 0..params.t_max {
         if frontier.is_empty() {
@@ -160,15 +181,22 @@ pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) ->
         );
 
         // Frontier = {v : p'[v] ≥ ε·d(v)}, filtered directly over the
-        // mass store's backend.
+        // mass store's backend. An empty filter means the walk died:
+        // break *before* the swap, returning the previous vector
+        // (line 15 of Figure 3).
         let above = p_new.filter_keys(pool, |v, m| m >= eps * g.degree(v) as f64);
         if above.is_empty() {
-            return finish(pool, p.entries(pool), stats);
+            break;
         }
         frontier.advance(pool, VertexSubset::from_distinct_unsorted_par(pool, above));
         std::mem::swap(&mut p, &mut p_new);
     }
-    finish(pool, p.entries(pool), stats)
+    let entries = p.entries(pool);
+    ws.put_mass(p);
+    ws.put_mass(p_new);
+    ws.put_frontier(pool, frontier);
+    ws.put_dense(share_dense);
+    finish(pool, entries, stats)
 }
 
 /// The *original* Spielman–Teng Nibble loop (§3.2 before the paper's

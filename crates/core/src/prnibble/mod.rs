@@ -22,6 +22,7 @@ mod par;
 mod seq;
 
 pub use par::prnibble_par;
+pub(crate) use par::prnibble_par_ws;
 pub use seq::{prnibble_seq, prnibble_seq_priority_queue};
 
 /// Which push rule to use (§3.3).

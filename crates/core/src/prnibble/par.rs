@@ -12,10 +12,11 @@
 //! exactly as Theorem 3 charges it.
 
 use super::PrNibbleParams;
+use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map_dense_gather, edge_map_indexed, Direction, Frontier, VertexSubset};
+use lgc_ligra::{edge_map_dense_gather, edge_map_indexed, Direction, VertexSubset};
 use lgc_parallel::{filter_map_index, Bitset, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
 
@@ -46,23 +47,38 @@ use lgc_sparse::MassMap;
 /// direct-indexed dense arrays once the per-iteration key bound crosses
 /// `params.dense_frac · n` — the regime pull iterations live in.
 pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
+    prnibble_par_ws(pool, g, seed, params, &mut Workspace::new())
+}
+
+/// [`prnibble_par`] over a recyclable [`Workspace`]: the three mass maps,
+/// the frontier (with its bitset), the vertex-indexed contribution slice,
+/// and the receiver bitset are checked out of `ws` instead of allocated —
+/// and every checkout is re-fitted to be observationally identical to a
+/// fresh allocation, so warm runs return the same bits as cold ones.
+pub(crate) fn prnibble_par_ws(
+    pool: &Pool,
+    g: &Graph,
+    seed: &Seed,
+    params: &PrNibbleParams,
+    ws: &mut Workspace,
+) -> Diffusion {
     params.validate();
     let (cp, cr, cn) = params.rule.coefficients(params.alpha);
     let eps = params.eps;
     let n = g.num_vertices();
     let mut stats = DiffusionStats::default();
 
-    let mass_map = |bound: usize| MassMap::with_dense_fraction(n, bound, params.dense_frac);
-    let mut r = mass_map(seed.vertices().len() * 2);
+    let mut r = ws.take_mass(pool, n, seed.vertices().len() * 2, params.dense_frac);
     for &x in seed.vertices() {
         r.set(x, seed.mass_per_vertex());
     }
-    let mut p = mass_map(16);
-    let mut r_delta = mass_map(16);
-    let mut frontier = Frontier::from_subset(VertexSubset::empty());
-    let mut contrib_dense: Vec<f64> = Vec::new();
-    // Allocated on the first pull iteration; always left fully clear.
-    let receiver_bits: std::cell::OnceCell<Bitset> = std::cell::OnceCell::new();
+    let mut p = ws.take_mass(pool, n, 16, params.dense_frac);
+    let mut r_delta = ws.take_mass(pool, n, 16, params.dense_frac);
+    let mut frontier = ws.take_frontier();
+    let mut contrib_dense: Vec<f64> = ws.take_dense();
+    // Taken warm from the workspace, or allocated on the first pull
+    // iteration; always left fully clear.
+    let mut receiver_bits: Option<Bitset> = ws.take_bitset(n);
 
     // Eligible = vertices known to satisfy r[v] ≥ ε·d(v) (sorted).
     let mut eligible: Vec<u32> = seed
@@ -189,7 +205,7 @@ pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams
                     });
                 }
                 r.reserve_rehash(pool, r.len() + vol);
-                let recv = receiver_bits.get_or_init(|| Bitset::new(n));
+                let recv = &*receiver_bits.get_or_insert_with(|| Bitset::new(n));
                 let bits = frontier.bits(pool, n);
                 {
                     let r_ref = &r;
@@ -218,7 +234,18 @@ pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams
     }
 
     stats.residual_mass = r.l1_norm(pool);
-    Diffusion::from_entries_par(pool, p.entries(pool), stats)
+    let entries = p.entries(pool);
+    ws.put_mass(r);
+    ws.put_mass(p);
+    ws.put_mass(r_delta);
+    ws.put_frontier(pool, frontier);
+    ws.put_dense(contrib_dense);
+    if let Some(bits) = receiver_bits {
+        // Invariant: the pull arm clears exactly the receivers it set,
+        // so the bitset goes back to the pool all-zero.
+        ws.put_bitset(bits);
+    }
+    Diffusion::from_entries_par(pool, entries, stats)
 }
 
 /// Merges two sorted duplicate-free id lists into one — `O(a + b)`,

@@ -15,10 +15,11 @@
 //! depth). Each walk derives its own RNG from the master seed, so the
 //! sequential and parallel versions produce *identical* vectors.
 
+use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_parallel::{counting_sort_by_key, filter_map_index, map_index, Pool};
+use lgc_parallel::{counting_sort_by_key, fill_with_index, filter_map_index, map_index, Pool};
 use lgc_sparse::{ConcurrentRankMap, SparseVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,6 +157,21 @@ pub fn rand_hkpr_seq(g: &Graph, seed: &Seed, params: &RandHkprParams) -> Diffusi
 
 /// Parallel rand-HK-PR with the paper's sort-based aggregation.
 pub fn rand_hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &RandHkprParams) -> Diffusion {
+    rand_hkpr_par_ws(pool, g, seed, params, &mut Workspace::new())
+}
+
+/// [`rand_hkpr_par`] over a recyclable [`Workspace`]: the length-`N`
+/// walk-destination array and the destination-compaction table come from
+/// `ws`. Per-walk RNG streams make the walks themselves reuse-invariant,
+/// and the aggregation's output is sorted by vertex id, so the recycled
+/// buffers cannot influence the result bits.
+pub(crate) fn rand_hkpr_par_ws(
+    pool: &Pool,
+    g: &Graph,
+    seed: &Seed,
+    params: &RandHkprParams,
+    ws: &mut Workspace,
+) -> Diffusion {
     params.validate();
     let cdf = params.length_cdf();
     let n = params.walks;
@@ -165,14 +181,23 @@ pub fn rand_hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &RandHkprParam
     };
 
     // All walks in parallel; destinations into a length-N array (the
-    // contention-free scheme).
-    let walks: Vec<(u32, u32)> =
-        map_index(pool, n, |i| run_walk(g, seed, &cdf, params.rng_seed, i));
+    // contention-free scheme), recycled across queries.
+    ws.walks.resize(n, (0, 0));
+    fill_with_index(pool, &mut ws.walks, |i| {
+        run_walk(g, seed, &cdf, params.rng_seed, i)
+    });
+    let walks = &ws.walks;
     stats.edges_traversed = walks.iter().map(|&(_, s)| s as u64).sum();
     stats.iterations = n as u64;
 
     // Remap destinations to compact ids via a concurrent hash table.
-    let distinct_map = ConcurrentRankMap::with_capacity(n.min(g.num_vertices()) + 1);
+    let distinct_map = match ws.rank.take() {
+        Some(mut m) => {
+            m.reset(pool, n.min(g.num_vertices()) + 1);
+            m
+        }
+        None => ConcurrentRankMap::with_capacity(n.min(g.num_vertices()) + 1),
+    };
     pool.run(n, 1024, |s, e| {
         for &(dest, _) in &walks[s..e] {
             distinct_map.insert(dest, 0);
@@ -204,6 +229,7 @@ pub fn rand_hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &RandHkprParam
             (end - start) as f64 * scale,
         )
     });
+    ws.rank = Some(distinct_map);
 
     Diffusion::from_entries(entries, stats)
 }

@@ -103,6 +103,30 @@ impl ClusterResult {
             sweep,
         }
     }
+
+    /// Wraps an evolving-set run as a [`ClusterResult`], so the process
+    /// fits the same query surface as the sweep-rounded diffusions.
+    ///
+    /// The ESP selects its cluster directly — no sweep happens — so the
+    /// `diffusion` is the best set's membership indicator
+    /// ([`crate::EvolvingResult::indicator`]) and the `sweep` is a stub:
+    /// `order` is the set itself (all of it the best prefix) and
+    /// `conductances` is **empty**, since per-prefix conductances were
+    /// never computed.
+    pub fn from_evolving(res: crate::EvolvingResult) -> Self {
+        let diffusion = res.indicator();
+        ClusterResult {
+            conductance: res.best_conductance,
+            sweep: SweepCut {
+                order: res.best_set.clone(),
+                conductances: Vec::new(),
+                best_size: res.best_set.len(),
+                best_conductance: res.best_conductance,
+            },
+            cluster: res.best_set,
+            diffusion,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ mod par;
 mod seq;
 
 pub use par::sweep_cut_par;
+pub(crate) use par::sweep_cut_par_ws;
 pub use seq::sweep_cut_seq;
 
 use std::cmp::Ordering;

@@ -30,6 +30,20 @@ use lgc_sparse::ConcurrentRankMap;
 /// deterministic sort order, integer crossing-edge counts, and float
 /// conductances computed from identical operands.
 pub fn sweep_cut_par(pool: &Pool, g: &Graph, p: &[(u32, f64)]) -> SweepCut {
+    sweep_cut_par_ws(pool, g, p, &mut None)
+}
+
+/// [`sweep_cut_par`] with a recyclable rank table (the engine's sweep
+/// scratch): `rank_slot` is taken, reset, and put back, so repeated
+/// sweeps against one graph stop re-allocating the hash table. Rank
+/// lookups are keyed, never enumerated, so a kept-larger table cannot
+/// change any output bit.
+pub(crate) fn sweep_cut_par_ws(
+    pool: &Pool,
+    g: &Graph,
+    p: &[(u32, f64)],
+    rank_slot: &mut Option<ConcurrentRankMap>,
+) -> SweepCut {
     let mut scored = eligible_entries(g, p);
     if scored.is_empty() {
         return SweepCut::empty();
@@ -40,7 +54,13 @@ pub fn sweep_cut_par(pool: &Pool, g: &Graph, p: &[(u32, f64)]) -> SweepCut {
 
     // rank[v] = 1-based position of v in the sweep order; vertices outside
     // the support implicitly get rank N+1.
-    let rank = ConcurrentRankMap::with_capacity(n);
+    let rank = match rank_slot.take() {
+        Some(mut m) => {
+            m.reset(pool, n);
+            m
+        }
+        None => ConcurrentRankMap::with_capacity(n),
+    };
     {
         let order_ref = &order;
         let rank_ref = &rank;
@@ -133,6 +153,7 @@ pub fn sweep_cut_par(pool: &Pool, g: &Graph, p: &[(u32, f64)]) -> SweepCut {
     })
     .expect("n >= 1");
 
+    *rank_slot = Some(rank);
     SweepCut {
         order,
         conductances,

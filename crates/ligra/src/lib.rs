@@ -389,6 +389,16 @@ impl Frontier {
         bits
     }
 
+    /// Empties the frontier while keeping its allocated bitset for later
+    /// reuse — the buffer-recycling hook for workspace pools that check
+    /// frontiers out across queries. Costs `O(len)` (clearing the
+    /// members' words), after which the frontier is observationally a
+    /// fresh `Frontier::from_subset(VertexSubset::empty())` that happens
+    /// to own a pre-allocated, fully-zeroed dense buffer.
+    pub fn recycle(&mut self, pool: &Pool) {
+        self.advance(pool, VertexSubset::empty());
+    }
+
     /// Replaces the members with the next iteration's subset, recycling
     /// the dense buffer: the outgoing members' bits are cleared in
     /// `O(len)` so the next [`Frontier::bits`] call only pays the set.
@@ -843,6 +853,25 @@ mod tests {
         let g = Frontier::from_bitset(&pool, bits);
         assert_eq!(g.ids(), &a[..]);
         assert_eq!(g.len(), a.len());
+    }
+
+    #[test]
+    fn frontier_recycle_behaves_like_fresh() {
+        let pool = Pool::new(2);
+        let n = 2000;
+        let a: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let mut f = Frontier::from_subset(VertexSubset::from_sorted(a.clone()));
+        assert_eq!(f.bits(&pool, n).to_sorted_ids(&pool), a);
+        f.recycle(&pool);
+        assert!(f.is_empty());
+        assert!(f.bits(&pool, n).to_sorted_ids(&pool).is_empty());
+        // Reuse after recycling, including across a universe change.
+        let b = vec![1u32, 77, 1999];
+        f.advance(&pool, VertexSubset::from_sorted(b.clone()));
+        assert_eq!(f.bits(&pool, n).to_sorted_ids(&pool), b);
+        f.recycle(&pool);
+        f.advance(&pool, VertexSubset::from_sorted(vec![5, 9]));
+        assert_eq!(f.bits(&pool, 50).to_sorted_ids(&pool), vec![5, 9]);
     }
 
     #[test]

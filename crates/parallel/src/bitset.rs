@@ -64,13 +64,24 @@ impl Bitset {
     }
 
     /// Inserts every id of a sorted list in parallel — `O(len)` work.
+    /// The caller must be the only writer during the call (the sequential
+    /// point every frontier construction already is).
     ///
-    /// Ids falling into one word are coalesced into a single `fetch_or`;
-    /// the RMW (rather than a plain store) keeps boundary words shared by
-    /// two chunks correct, and the result is deterministic regardless.
+    /// Ids falling into one word are coalesced into a single update. Only
+    /// a chunk's *first and last* words can be shared with a neighboring
+    /// chunk (the ids are sorted, so each chunk owns a contiguous id
+    /// range); those two use an atomic `fetch_or`, while every interior
+    /// word — all of them, on a single-threaded pool — takes a plain
+    /// load/store with no lock-prefixed RMW. This is the ROADMAP's
+    /// "non-atomic fast path": `T1` dense iterations no longer pay an
+    /// atomic per frontier word just because the words are `AtomicU64`.
     pub fn set_sorted(&self, pool: &Pool, ids: &[u32]) {
         pool.run(ids.len(), 1 << 11, |s, e| {
             let chunk = &ids[s..e];
+            // Words that may be shared with the previous/next chunk.
+            let first_w = (chunk[0] as usize) >> 6;
+            let last_w = (chunk[chunk.len() - 1] as usize) >> 6;
+            let shared = |w: usize| (w == first_w && s > 0) || (w == last_w && e < ids.len());
             let mut k = 0;
             while k < chunk.len() {
                 let w = (chunk[k] as usize) >> 6;
@@ -79,7 +90,12 @@ impl Bitset {
                     mask |= 1u64 << (chunk[k] & 63);
                     k += 1;
                 }
-                self.words[w].fetch_or(mask, Ordering::Relaxed);
+                if shared(w) {
+                    self.words[w].fetch_or(mask, Ordering::Relaxed);
+                } else {
+                    let cur = self.words[w].load(Ordering::Relaxed);
+                    self.words[w].store(cur | mask, Ordering::Relaxed);
+                }
             }
         });
     }
@@ -217,6 +233,38 @@ mod tests {
         let bits = Bitset::new(n);
         bits.set_sorted(&pool, &ids);
         assert_eq!(bits.count(&pool), n);
+    }
+
+    #[test]
+    fn set_sorted_matches_per_insert_across_chunkings() {
+        // The boundary-aware fast path (plain stores for chunk-interior
+        // words, RMW only at chunk edges) must produce exactly the set
+        // that per-id atomic inserts produce, for id patterns that share
+        // words across chunk boundaries and at any thread count.
+        let n = 1 << 15;
+        let patterns: Vec<Vec<u32>> = vec![
+            (0..n as u32).collect(),                         // every id
+            (0..n as u32).filter(|v| v % 63 == 0).collect(), // straddles words
+            (0..n as u32).filter(|v| v & 64 == 0).collect(), // alternating words
+            vec![0, 1, 62, 63, 64, 65, 127, 128, (n - 1) as u32],
+        ];
+        for ids in &patterns {
+            let want = Bitset::new(n);
+            for &v in ids {
+                want.insert(v);
+            }
+            for threads in [1, 2, 4] {
+                let pool = Pool::new(threads);
+                let bits = Bitset::new(n);
+                bits.set_sorted(&pool, ids);
+                assert_eq!(
+                    bits.to_sorted_ids(&pool),
+                    want.to_sorted_ids(&pool),
+                    "|ids|={} t={threads}",
+                    ids.len()
+                );
+            }
+        }
     }
 
     #[test]

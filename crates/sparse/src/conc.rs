@@ -1,4 +1,4 @@
-//! Phase-concurrent lock-free sparse sets (the paper's reference [42]).
+//! Phase-concurrent lock-free sparse sets (the paper's reference \[42\]).
 //!
 //! Linear-probing tables whose key slots are claimed by compare-and-swap.
 //! `f64` values accumulate with the atomic fetch-add from `lgc-parallel`,
@@ -24,10 +24,19 @@ pub struct ConcurrentSparseVec {
 }
 
 impl ConcurrentSparseVec {
+    /// The slot count a fresh table built for `n` keys gets — the single
+    /// source of the sizing policy, exposed so buffer recyclers (e.g.
+    /// `MassMap::recycle`) can test whether an existing table is
+    /// *exactly* fresh-shaped (capacity shapes slot enumeration order,
+    /// which some reductions sum in).
+    pub fn fresh_capacity(n: usize) -> usize {
+        (n.max(4) * 2).next_power_of_two()
+    }
+
     /// An empty table able to hold at least `n` keys without exceeding a
     /// 50% load factor.
     pub fn with_capacity(n: usize) -> Self {
-        let cap = (n.max(4) * 2).next_power_of_two();
+        let cap = Self::fresh_capacity(n);
         ConcurrentSparseVec {
             keys: (0..cap).map(|_| AtomicU32::new(EMPTY)).collect(),
             vals: (0..cap).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
@@ -193,7 +202,7 @@ impl ConcurrentSparseVec {
     /// Empties the table, reallocating only if the current capacity cannot
     /// hold `n` keys. Sequential point between phases.
     pub fn reset(&mut self, pool: &Pool, n: usize) {
-        let needed = (n.max(4) * 2).next_power_of_two();
+        let needed = Self::fresh_capacity(n);
         if needed > self.capacity() {
             *self = ConcurrentSparseVec::with_capacity(n);
             return;
@@ -212,7 +221,7 @@ impl ConcurrentSparseVec {
     /// Grows the table to hold at least `n` keys, preserving entries.
     /// Sequential point between phases.
     pub fn reserve_rehash(&mut self, pool: &Pool, n: usize) {
-        let needed = (n.max(4) * 2).next_power_of_two();
+        let needed = Self::fresh_capacity(n);
         if needed <= self.capacity() {
             return;
         }
@@ -239,7 +248,7 @@ pub struct ConcurrentRankMap {
 impl ConcurrentRankMap {
     /// An empty table able to hold at least `n` keys.
     pub fn with_capacity(n: usize) -> Self {
-        let cap = (n.max(4) * 2).next_power_of_two();
+        let cap = ConcurrentSparseVec::fresh_capacity(n);
         ConcurrentRankMap {
             keys: (0..cap).map(|_| AtomicU32::new(EMPTY)).collect(),
             vals: (0..cap).map(|_| AtomicU32::new(0)).collect(),
@@ -278,6 +287,31 @@ impl ConcurrentRankMap {
             probes += 1;
             assert!(probes <= self.mask, "ConcurrentRankMap overflow");
         }
+    }
+
+    /// Empties the table, reallocating only if the current capacity
+    /// cannot hold `n` keys — the workspace-recycling hook for callers
+    /// (sweep rank assignment, rand-HK-PR destination compaction) whose
+    /// *results* are slot-order independent, so a kept-larger table is
+    /// observationally fine. Sequential point between phases.
+    pub fn reset(&mut self, pool: &Pool, n: usize) {
+        let needed = ConcurrentSparseVec::fresh_capacity(n);
+        if needed > self.capacity() {
+            *self = ConcurrentRankMap::with_capacity(n);
+            return;
+        }
+        let (keys, vals) = (&self.keys, &self.vals);
+        pool.run(self.capacity(), 1 << 14, |s, e| {
+            for i in s..e {
+                keys[i].store(EMPTY, Ordering::Relaxed);
+                vals[i].store(0, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Number of slots (twice the supported key count).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
     }
 
     /// Packs the distinct keys present, in parallel (slot order).
@@ -432,6 +466,26 @@ mod tests {
             assert_eq!(m.get(i * 2), Some(i));
             assert_eq!(m.get(i * 2 + 1), None);
         }
+    }
+
+    #[test]
+    fn rank_map_reset_clears_and_reuses() {
+        let pool = Pool::new(2);
+        let mut m = ConcurrentRankMap::with_capacity(500);
+        let cap = m.capacity();
+        for k in 0..500u32 {
+            m.insert(k, k + 1);
+        }
+        m.reset(&pool, 400);
+        assert_eq!(m.capacity(), cap, "no realloc needed");
+        for k in 0..500u32 {
+            assert_eq!(m.get(k), None, "key {k} survived reset");
+        }
+        m.insert(3, 9);
+        assert_eq!(m.get(3), Some(9));
+        m.reset(&pool, 10 * cap);
+        assert!(m.capacity() > cap, "grew for larger bound");
+        assert_eq!(m.get(3), None);
     }
 
     #[test]

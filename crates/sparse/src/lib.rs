@@ -14,7 +14,7 @@
 //!   observes in §4).
 //! * [`ConcurrentSparseVec`] / [`ConcurrentRankMap`] — lock-free linear
 //!   probing tables in the style of the *phase-concurrent* hash table of
-//!   Shun and Blelloch (SPAA 2014, the paper's [42]): keys are claimed
+//!   Shun and Blelloch (SPAA 2014, the paper's \[42\]): keys are claimed
 //!   with compare-and-swap and `f64` values accumulate with an atomic
 //!   fetch-add, so a batch of `N` inserts/accumulates takes `O(N)` work
 //!   and `O(log N)` depth w.h.p.

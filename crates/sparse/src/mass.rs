@@ -375,6 +375,53 @@ impl MassMap {
         }
     }
 
+    /// Re-fits a recycled map so it is *observably identical* to a
+    /// freshly constructed `MassMap::with_dense_fraction(n, bound, frac)`
+    /// — same mode choice, same sparse-table capacity (capacity shapes
+    /// slot enumeration order, which [`MassMap::l1_norm`] sums in, so a
+    /// "keep the bigger table" shortcut would leak the map's history into
+    /// result bits) — while retaining the expensive `O(n)` dense buffers
+    /// whenever the universe is unchanged. Sequential point.
+    ///
+    /// This is the workspace-reuse hook: a query engine checks maps out
+    /// of a pool, and `recycle` makes the checkout indistinguishable from
+    /// a fresh allocation, which is what keeps warm-workspace runs
+    /// bit-identical to cold ones.
+    pub fn recycle(&mut self, pool: &Pool, n: usize, bound: usize, frac: f64) {
+        assert!(frac >= 0.0 && !frac.is_nan(), "fraction must be ≥ 0");
+        if self.n != n {
+            // Universe changed: every cached buffer is the wrong size.
+            *self = MassMap::with_dense_fraction(n, bound, frac);
+            return;
+        }
+        self.dense_frac = frac;
+        let bound = self.clamp_bound(bound);
+        let wants_dense = self.wants_dense(bound);
+        match (&mut self.store, wants_dense) {
+            (MassStore::Dense(d), true) => d.clear(pool),
+            (MassStore::Sparse(s), false) => {
+                // A fresh map would allocate exactly this capacity.
+                let fresh_cap = ConcurrentSparseVec::fresh_capacity(bound);
+                if s.capacity() == fresh_cap {
+                    s.reset(pool, bound);
+                } else {
+                    *s = ConcurrentSparseVec::with_capacity(bound);
+                }
+            }
+            (MassStore::Dense(_), false) => {
+                let MassStore::Dense(mut d) = std::mem::replace(
+                    &mut self.store,
+                    MassStore::Sparse(ConcurrentSparseVec::with_capacity(bound)),
+                ) else {
+                    unreachable!()
+                };
+                d.clear(pool);
+                self.spare_dense = Some(d);
+            }
+            (MassStore::Sparse(_), true) => self.rebuild_empty(bound),
+        }
+    }
+
     /// Grows the map to hold at least `bound` keys, preserving entries —
     /// upgrading sparse → dense (with migration) when `bound` crosses
     /// the threshold. Sequential point between phases.
@@ -559,6 +606,61 @@ mod tests {
             }
             assert_eq!(m.len(), 1024);
         }
+    }
+
+    #[test]
+    fn recycle_is_indistinguishable_from_fresh() {
+        let pool = Pool::new(2);
+        // Dirty a map in dense mode, then recycle it through a series of
+        // (n, bound, frac) configurations; each checkout must match a
+        // freshly constructed map in mode, capacity-dependent entry
+        // enumeration, and l1 bits.
+        let mut m = MassMap::with_dense_fraction(1000, 500, 0.125);
+        assert!(m.is_dense());
+        for k in 0..300u32 {
+            m.add(k * 3, 0.1 * k as f64);
+        }
+        let configs = [
+            (1000usize, 10usize, 0.125f64), // downgrade to sparse
+            (1000, 400, 0.125),             // back to dense (reuses buffers)
+            (1000, 10, f64::INFINITY),      // pinned sparse
+            (500, 300, 0.125),              // universe change
+            (500, 0, 0.0),                  // pinned dense
+        ];
+        for &(n, bound, frac) in &configs {
+            m.recycle(&pool, n, bound, frac);
+            let fresh = MassMap::with_dense_fraction(n, bound, frac);
+            assert_eq!(m.is_dense(), fresh.is_dense(), "mode for {n}/{bound}");
+            assert!(m.is_empty(), "recycle must clear");
+            // Fill both identically (staying within the sparse bound);
+            // every observation must agree bit-for-bit (same backend
+            // shape ⇒ same enumeration chunking).
+            let k = bound.clamp(4, 64);
+            let keys: Vec<u32> = (0..k as u32).map(|i| i * (n / k) as u32).collect();
+            for &k in &keys {
+                m.add(k, 1.0 / (k as f64 + 3.0));
+                fresh.add(k, 1.0 / (k as f64 + 3.0));
+            }
+            assert_eq!(m.len(), fresh.len());
+            assert_eq!(m.entries_sorted(&pool), fresh.entries_sorted(&pool));
+            assert_eq!(m.l1_norm(&pool), fresh.l1_norm(&pool), "l1 bits");
+        }
+    }
+
+    #[test]
+    fn recycle_reuses_dense_buffers_across_checkouts() {
+        let pool = Pool::new(2);
+        let mut m = MassMap::with_dense_fraction(64, 64, 0.0);
+        m.add(7, 1.0);
+        m.recycle(&pool, 64, 64, 0.0); // dense → dense: cleared in place
+        assert!(m.is_dense() && m.is_empty());
+        assert_eq!(m.get(7), 0.0);
+        m.add(8, 2.0);
+        m.recycle(&pool, 64, 1, f64::INFINITY); // stash dense, go sparse
+        assert!(!m.is_dense() && m.is_empty());
+        m.recycle(&pool, 64, 64, 0.0); // dense again from the stash
+        assert!(m.is_dense() && m.is_empty());
+        assert_eq!(m.get(8), 0.0, "stashed buffers came back clean");
     }
 
     #[test]

@@ -3,6 +3,10 @@
 //! graph cluster exploration, or even use all of them to find slightly
 //! different clusters of similar size from the same seed set."
 //!
+//! The sequential columns run the fresh-state reference algorithms; the
+//! parallel columns all go through one warm [`Engine`], so from the
+//! second row on every query runs entirely out of recycled buffers.
+//!
 //! Prints cluster size, conductance, diffusion support, work counters,
 //! and wall-clock for sequential vs parallel runs of every algorithm,
 //! plus the evolving-set extension.
@@ -12,7 +16,7 @@
 //! ```
 
 use plgc::cluster as lgc;
-use plgc::{Pool, Seed};
+use plgc::{Algorithm, Engine, LocalDiffusion, Query, Seed};
 use std::time::Instant;
 
 fn main() {
@@ -24,122 +28,63 @@ fn main() {
         g.num_edges()
     );
 
-    let seq_pool = Pool::new(1);
-    let par_pool = Pool::with_default_threads();
+    let mut engine = Engine::builder(&g).build();
     let seed = Seed::single(seed_vertex);
-    println!("parallel pool: {} threads", par_pool.num_threads());
+    println!("engine: {} threads", engine.num_threads());
     println!();
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>11} {:>9} {:>10} {:>10}",
         "algorithm", "seq(ms)", "par(ms)", "|cluster|", "phi", "support", "pushes", "iters"
     );
 
-    let nibble = lgc::NibbleParams {
-        t_max: 20,
-        eps: 1e-8,
-        ..Default::default()
-    };
-    let pr = lgc::PrNibbleParams {
-        alpha: 0.01,
-        eps: 1e-7,
-        ..Default::default()
-    };
-    let hk = lgc::HkprParams {
-        t: 10.0,
-        n_levels: 20,
-        eps: 1e-7,
-        ..Default::default()
-    };
-    let rhk = lgc::RandHkprParams {
-        t: 10.0,
-        max_len: 10,
-        walks: 100_000,
-        rng_seed: 1,
-    };
+    let algorithms: Vec<Algorithm> = vec![
+        Algorithm::Nibble(lgc::NibbleParams {
+            t_max: 20,
+            eps: 1e-8,
+            ..Default::default()
+        }),
+        Algorithm::PrNibble(lgc::PrNibbleParams {
+            alpha: 0.01,
+            eps: 1e-7,
+            ..Default::default()
+        }),
+        Algorithm::Hkpr(lgc::HkprParams {
+            t: 10.0,
+            n_levels: 20,
+            eps: 1e-7,
+            ..Default::default()
+        }),
+        Algorithm::RandHkpr(lgc::RandHkprParams {
+            t: 10.0,
+            max_len: 10,
+            walks: 100_000,
+            rng_seed: 1,
+        }),
+        Algorithm::Evolving(lgc::EvolvingParams {
+            max_steps: 80,
+            rng_seed: 3,
+            ..Default::default()
+        }),
+    ];
 
-    report(
-        "Nibble",
-        &g,
-        || lgc::nibble_seq(&g, &seed, &nibble),
-        || lgc::nibble_par(&par_pool, &g, &seed, &nibble),
-        &par_pool,
-    );
-    report(
-        "PR-Nibble",
-        &g,
-        || lgc::prnibble_seq(&g, &seed, &pr),
-        || lgc::prnibble_par(&par_pool, &g, &seed, &pr),
-        &par_pool,
-    );
-    report(
-        "HK-PR",
-        &g,
-        || lgc::hkpr_seq(&g, &seed, &hk),
-        || lgc::hkpr_par(&par_pool, &g, &seed, &hk),
-        &par_pool,
-    );
-    report(
-        "rand-HK-PR",
-        &g,
-        || lgc::rand_hkpr_seq(&g, &seed, &rhk),
-        || lgc::rand_hkpr_par(&par_pool, &g, &seed, &rhk),
-        &par_pool,
-    );
-
-    // The evolving-set extension (§5) reports its own best set.
-    let es = lgc::EvolvingParams {
-        max_steps: 80,
-        rng_seed: 3,
-        ..Default::default()
-    };
-    let t0 = Instant::now();
-    let seq_res = lgc::evolving_set_seq(&g, &seed, &es);
-    let t_seq = t0.elapsed();
-    let t0 = Instant::now();
-    let par_res = lgc::evolving_set_par(&par_pool, &g, &seed, &es);
-    let t_par = t0.elapsed();
-    println!(
-        "{:<14} {:>9.1} {:>9.1} {:>9} {:>11.6} {:>9} {:>10} {:>10}",
-        "evolving-set",
-        t_seq.as_secs_f64() * 1e3,
-        t_par.as_secs_f64() * 1e3,
-        par_res.best_set.len(),
-        par_res.best_conductance,
-        "-",
-        "-",
-        par_res.steps
-    );
-    assert_eq!(
-        seq_res.best_set, par_res.best_set,
-        "ESP trajectories must agree"
-    );
-
-    let _ = seq_pool;
-}
-
-fn report(
-    name: &str,
-    g: &plgc::Graph,
-    run_seq: impl Fn() -> lgc::Diffusion,
-    run_par: impl Fn() -> lgc::Diffusion,
-    par_pool: &Pool,
-) {
-    let t0 = Instant::now();
-    let _seq_d = run_seq();
-    let t_seq = t0.elapsed();
-    let t0 = Instant::now();
-    let par_d = run_par();
-    let t_par = t0.elapsed();
-    let sweep = lgc::sweep_cut_par(par_pool, g, &par_d.p);
-    println!(
-        "{:<14} {:>9.1} {:>9.1} {:>9} {:>11.6} {:>9} {:>10} {:>10}",
-        name,
-        t_seq.as_secs_f64() * 1e3,
-        t_par.as_secs_f64() * 1e3,
-        sweep.best_size,
-        sweep.best_conductance,
-        par_d.support_size(),
-        par_d.stats.pushes,
-        par_d.stats.iterations
-    );
+    for algo in &algorithms {
+        let t0 = Instant::now();
+        let seq_d = algo.diffuse_seq(&g, &seed);
+        let t_seq = t0.elapsed();
+        let t0 = Instant::now();
+        let res = engine.run(&Query::new(seed.clone(), algo.clone()));
+        let t_par = t0.elapsed();
+        println!(
+            "{:<14} {:>9.1} {:>9.1} {:>9} {:>11.6} {:>9} {:>10} {:>10}",
+            algo.name(),
+            t_seq.as_secs_f64() * 1e3,
+            t_par.as_secs_f64() * 1e3,
+            res.cluster.len(),
+            res.conductance,
+            res.diffusion.support_size(),
+            res.diffusion.stats.pushes,
+            res.diffusion.stats.iterations
+        );
+        let _ = seq_d;
+    }
 }

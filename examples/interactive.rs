@@ -4,6 +4,10 @@
 //! low, it is important that a single local computation be made
 //! efficient."
 //!
+//! This is exactly the workload the [`Engine`] exists for: one handle
+//! built at startup (pool + graph + workspace), every command served as
+//! a query over it, scratch buffers recycled from command to command.
+//!
 //! A tiny command-driven explorer over a generated graph. Reads commands
 //! from stdin (one per line) and answers instantly using the parallel
 //! algorithms:
@@ -12,6 +16,7 @@
 //! cluster <seed> [alpha] [eps]   PR-Nibble + sweep from <seed>
 //! nibble <seed> [T] [eps]        Nibble + sweep from <seed>
 //! hk <seed> [t] [N] [eps]        HK-PR + sweep from <seed>
+//! esp <seed> [steps]             evolving-set process from <seed>
 //! degree <v>                     degree of v
 //! stats                          graph statistics
 //! quit
@@ -22,18 +27,18 @@
 //! ```
 
 use plgc::cluster as lgc;
-use plgc::{Pool, Seed};
+use plgc::{Algorithm, Engine, Query, Seed};
 use std::io::BufRead;
 use std::time::Instant;
 
 fn main() {
     let (g, _labels) = plgc::graph::gen::sbm(&[80; 12], 0.2, 0.002, 11);
-    let pool = Pool::with_default_threads();
+    let mut engine = Engine::builder(&g).build();
     println!(
         "loaded SBM graph: {} vertices, {} edges ({} threads). Type 'help'.",
         g.num_vertices(),
         g.num_edges(),
-        pool.num_threads()
+        engine.num_threads()
     );
 
     let stdin = std::io::stdin();
@@ -44,11 +49,13 @@ fn main() {
         };
         let parts: Vec<&str> = line.split_whitespace().collect();
         let t0 = Instant::now();
-        match parts.as_slice() {
+        // Parsed command → one engine query (None for non-query commands).
+        let query: Option<Query> = match parts.as_slice() {
             [] => continue,
             ["quit"] | ["exit"] => break,
             ["help"] => {
-                println!("commands: cluster <seed> [alpha] [eps] | nibble <seed> [T] [eps] | hk <seed> [t] [N] [eps] | degree <v> | stats | quit");
+                println!("commands: cluster <seed> [alpha] [eps] | nibble <seed> [T] [eps] | hk <seed> [t] [N] [eps] | esp <seed> [steps] | degree <v> | stats | quit");
+                None
             }
             ["stats"] => {
                 println!(
@@ -57,67 +64,74 @@ fn main() {
                     g.num_edges(),
                     g.max_degree()
                 );
+                None
             }
-            ["degree", v] => match parse_vertex(v, &g) {
-                Some(v) => println!("d({v}) = {}", g.degree(v)),
-                None => println!("vertex out of range"),
-            },
-            ["cluster", s, rest @ ..] => {
-                if let Some(v) = parse_vertex(s, &g) {
-                    let alpha = rest.first().and_then(|x| x.parse().ok()).unwrap_or(0.05);
-                    let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
-                    let params = lgc::PrNibbleParams {
+            ["degree", v] => {
+                match parse_vertex(v, &g) {
+                    Some(v) => println!("d({v}) = {}", g.degree(v)),
+                    None => println!("vertex out of range"),
+                }
+                None
+            }
+            ["cluster", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+                let alpha = rest.first().and_then(|x| x.parse().ok()).unwrap_or(0.05);
+                let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
+                Query::new(
+                    Seed::single(v),
+                    Algorithm::PrNibble(lgc::PrNibbleParams {
                         alpha,
                         eps,
                         ..Default::default()
-                    };
-                    let d = lgc::prnibble_par(&pool, &g, &Seed::single(v), &params);
-                    answer(&g, &pool, &d, t0);
-                } else {
-                    println!("vertex out of range");
-                }
+                    }),
+                )
+            }),
+            ["nibble", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+                let t_max = rest.first().and_then(|x| x.parse().ok()).unwrap_or(20);
+                let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-7);
+                Query::new(
+                    Seed::single(v),
+                    Algorithm::Nibble(lgc::NibbleParams {
+                        t_max,
+                        eps,
+                        ..Default::default()
+                    }),
+                )
+            }),
+            ["hk", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+                let t = rest.first().and_then(|x| x.parse().ok()).unwrap_or(10.0);
+                let n_levels = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(20);
+                let eps = rest.get(2).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
+                Query::new(
+                    Seed::single(v),
+                    Algorithm::Hkpr(lgc::HkprParams {
+                        t,
+                        n_levels,
+                        eps,
+                        ..Default::default()
+                    }),
+                )
+            }),
+            ["esp", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+                let max_steps = rest.first().and_then(|x| x.parse().ok()).unwrap_or(50);
+                Query::new(
+                    Seed::single(v),
+                    Algorithm::Evolving(lgc::EvolvingParams {
+                        max_steps,
+                        ..Default::default()
+                    }),
+                )
+            }),
+            [cmd] if ["cluster", "nibble", "hk", "esp"].contains(cmd) => {
+                println!("missing seed vertex (try '{cmd} 0')");
+                None
             }
-            ["nibble", s, rest @ ..] => {
-                if let Some(v) = parse_vertex(s, &g) {
-                    let t_max = rest.first().and_then(|x| x.parse().ok()).unwrap_or(20);
-                    let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-7);
-                    let d = lgc::nibble_par(
-                        &pool,
-                        &g,
-                        &Seed::single(v),
-                        &lgc::NibbleParams {
-                            t_max,
-                            eps,
-                            ..Default::default()
-                        },
-                    );
-                    answer(&g, &pool, &d, t0);
-                } else {
-                    println!("vertex out of range");
-                }
+            _ => {
+                println!("unknown command (try 'help')");
+                None
             }
-            ["hk", s, rest @ ..] => {
-                if let Some(v) = parse_vertex(s, &g) {
-                    let t = rest.first().and_then(|x| x.parse().ok()).unwrap_or(10.0);
-                    let n_levels = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(20);
-                    let eps = rest.get(2).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
-                    let d = lgc::hkpr_par(
-                        &pool,
-                        &g,
-                        &Seed::single(v),
-                        &lgc::HkprParams {
-                            t,
-                            n_levels,
-                            eps,
-                            ..Default::default()
-                        },
-                    );
-                    answer(&g, &pool, &d, t0);
-                } else {
-                    println!("vertex out of range");
-                }
-            }
-            _ => println!("unknown command (try 'help')"),
+        };
+        if let Some(q) = query {
+            answer(&engine.run(&q), t0);
         }
     }
 }
@@ -128,18 +142,26 @@ fn parse_vertex(s: &str, g: &plgc::Graph) -> Option<u32> {
         .filter(|&v| (v as usize) < g.num_vertices())
 }
 
-fn answer(g: &plgc::Graph, pool: &Pool, d: &lgc::Diffusion, t0: Instant) {
-    let sweep = lgc::sweep_cut_par(pool, g, &d.p);
-    let mut preview: Vec<u32> = sweep.cluster().to_vec();
+/// As [`parse_vertex`], but tells the user when the argument is bad.
+fn vertex_or_complain(s: &str, g: &plgc::Graph) -> Option<u32> {
+    let v = parse_vertex(s, g);
+    if v.is_none() {
+        println!("vertex out of range");
+    }
+    v
+}
+
+fn answer(res: &lgc::ClusterResult, t0: Instant) {
+    let mut preview: Vec<u32> = res.cluster.clone();
     preview.sort_unstable();
     preview.truncate(12);
     println!(
         "cluster of {} vertices, phi = {:.5}, support = {}, {:.1} ms  (first members: {:?}{})",
-        sweep.best_size,
-        sweep.best_conductance,
-        d.support_size(),
+        res.cluster.len(),
+        res.conductance,
+        res.diffusion.support_size(),
         t0.elapsed().as_secs_f64() * 1e3,
         preview,
-        if sweep.best_size > 12 { ", ..." } else { "" }
+        if res.cluster.len() > 12 { ", ..." } else { "" }
     );
 }

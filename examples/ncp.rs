@@ -10,7 +10,7 @@
 //! cargo run --release --example ncp > ncp.csv
 //! ```
 
-use plgc::{ncp_prnibble, NcpParams, Pool};
+use plgc::{Engine, NcpParams};
 
 fn main() {
     // An R-MAT graph standing in for the paper's social networks.
@@ -21,7 +21,10 @@ fn main() {
         g.num_edges()
     );
 
-    let pool = Pool::with_default_threads();
+    // An NCP scan is hundreds of back-to-back PR-Nibble + sweep queries
+    // over one graph — the engine's workspace recycles every scratch
+    // buffer between them instead of reallocating per grid point.
+    let mut engine = Engine::builder(&g).build();
     let params = NcpParams {
         num_seeds: 60,
         alphas: vec![0.1, 0.01],
@@ -38,7 +41,7 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let points = ncp_prnibble(&pool, &g, &params);
+    let points = engine.ncp(&params);
     eprintln!(
         "done in {:.2?}; {} profile points",
         t0.elapsed(),

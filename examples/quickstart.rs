@@ -1,13 +1,16 @@
 //! Quickstart: find a local cluster around a seed vertex.
 //!
-//! Builds a small planted-cluster graph, runs the full paper pipeline
-//! (PR-Nibble diffusion + parallel sweep cut), and prints the cluster.
+//! Builds a small planted-cluster graph, constructs the query [`Engine`]
+//! (pool + graph + recyclable workspace), and runs the full paper
+//! pipeline (PR-Nibble diffusion + parallel sweep cut) — then a second
+//! query over the warm engine, which reuses every scratch buffer the
+//! first one allocated.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use plgc::{find_cluster, Algorithm, Pool, PrNibbleParams, Seed};
+use plgc::{Algorithm, Engine, HkprParams, PrNibbleParams, Query, Seed};
 
 fn main() {
     // Two 20-cliques joined by a single bridge edge: the left clique is a
@@ -19,16 +22,15 @@ fn main() {
         g.num_edges()
     );
 
-    let pool = Pool::with_default_threads();
-    println!("pool: {} threads", pool.num_threads());
+    // Build the engine once; query it as many times as you like.
+    let mut engine = Engine::builder(&g).build();
+    println!("engine: {} threads", engine.num_threads());
 
     let seed = Seed::single(3); // any vertex of the left clique
-    let result = find_cluster(
-        &pool,
-        &g,
-        &seed,
-        &Algorithm::PrNibble(PrNibbleParams::default()),
-    );
+    let result = engine.run(&Query::new(
+        seed.clone(),
+        Algorithm::PrNibble(PrNibbleParams::default()),
+    ));
 
     let mut members = result.cluster.clone();
     members.sort_unstable();
@@ -40,7 +42,15 @@ fn main() {
         result.diffusion.stats.pushes,
         result.diffusion.stats.iterations
     );
-
     assert_eq!(members, (0..20).collect::<Vec<u32>>());
     println!("=> recovered the planted cluster exactly");
+
+    // A second query — different algorithm, same engine: the mass
+    // arenas, frontier bitsets, and sweep scratch are recycled, and the
+    // result is bit-identical to a cold run.
+    let hk = engine.run(&Query::new(seed, Algorithm::Hkpr(HkprParams::default())));
+    let mut members = hk.cluster.clone();
+    members.sort_unstable();
+    assert_eq!(members, (0..20).collect::<Vec<u32>>());
+    println!("=> HK-PR over the warm engine agrees");
 }

@@ -1,34 +1,78 @@
 //! Parallel Local Graph Clustering — umbrella crate.
 //!
 //! A Rust reproduction of *"Parallel Local Graph Clustering"* (Shun,
-//! Roosta-Khorasani, Fountoulakis, Mahoney; VLDB 2016). This crate
-//! re-exports the whole workspace under one roof:
+//! Roosta-Khorasani, Fountoulakis, Mahoney; VLDB 2016), grown into a
+//! query-serving system. The paper's five local diffusions — Nibble,
+//! PR-Nibble, deterministic and randomized heat-kernel PageRank, and the
+//! evolving-set process — are one family over the same frontier
+//! framework, and the [`Engine`] serves them all through one handle.
 //!
-//! * [`parallel`] — thread pool and work-depth primitives (prefix sums,
-//!   filter, parallel sorts, atomic `f64`).
-//! * [`sparse`] — sequential and phase-concurrent sparse sets.
-//! * [`graph`] — CSR graphs, generators, conductance utilities, I/O.
-//! * [`ligra`] — `vertexSubset` / `vertexMap` / `edgeMap` frontier
-//!   framework.
-//! * [`cluster`] — the paper's algorithms: Nibble, PR-Nibble, HK-PR,
-//!   rand-HK-PR, evolving sets, sweep cuts, and NCP plots.
+//! # Quickstart
 //!
-//! The most common entry points are also re-exported at the top level:
+//! Build an [`Engine`] once per graph, then hit it with queries; scratch
+//! state (mass arenas, frontier bitsets, sweep tables) is recycled from
+//! query to query instead of reallocated:
 //!
 //! ```
-//! use plgc::{find_cluster, Algorithm, Pool, PrNibbleParams, Seed};
+//! use plgc::{Algorithm, Engine, PrNibbleParams, Query, Seed};
 //!
 //! let g = plgc::graph::gen::two_cliques_bridge(16);
-//! let pool = Pool::with_default_threads();
-//! let result = find_cluster(
-//!     &pool,
-//!     &g,
-//!     &Seed::single(0),
-//!     &Algorithm::PrNibble(PrNibbleParams::default()),
-//! );
+//! let mut engine = Engine::builder(&g).threads(2).build();
+//!
+//! let result = engine.run(&Query::new(
+//!     Seed::single(0),
+//!     Algorithm::PrNibble(PrNibbleParams::default()),
+//! ));
 //! assert_eq!(result.cluster.len(), 16);
 //! assert!(result.conductance < 0.01);
+//!
+//! // Same engine, different algorithm — buffers are reused.
+//! use plgc::cluster::HkprParams;
+//! let hk = engine.run(&Query::new(
+//!     Seed::single(0),
+//!     Algorithm::Hkpr(HkprParams::default()),
+//! ));
+//! assert_eq!(hk.cluster.len(), 16);
 //! ```
+//!
+//! Every algorithm implements the [`LocalDiffusion`] trait (seed →
+//! params → diffusion over a shared [`Workspace`]), engine results are
+//! bit-identical to the free-function pipeline, and
+//! [`Engine::run_batch`] fans any mix of queries across the pool with
+//! per-worker workspaces (deterministic, thread-count independent).
+//!
+//! # Migrating from the free functions
+//!
+//! The pre-`Engine` free functions remain available as thin wrappers
+//! (each runs the identical code path over a fresh, throwaway
+//! workspace):
+//!
+//! | Old call | Engine form |
+//! |---|---|
+//! | `find_cluster(&pool, &g, &seed, &algo)` | `engine.run(&Query::new(seed, algo))` |
+//! | `prnibble_par(&pool, &g, &seed, &p)` | `engine.diffuse(&seed, &Algorithm::PrNibble(p))` |
+//! | `nibble_par` / `hkpr_par` / `rand_hkpr_par` | `engine.diffuse(&seed, &Algorithm::…(p))` |
+//! | `evolving_set_par(&pool, &g, &seed, &p)` | `engine.run(&Query::new(seed, Algorithm::Evolving(p)))` |
+//! | `batch_prnibble(&pool, &g, &queries)` | `engine.run_batch(&queries)` (any algorithm mix) |
+//! | `ncp_prnibble(&pool, &g, &params)` | `engine.ncp(&params)` |
+//! | `Pool::new(t)` + free functions | `Engine::builder(&g).threads(t).build()` |
+//!
+//! `Query` changed shape with the redesign: it now carries an
+//! [`Algorithm`] (`Query { seed, algo }`) instead of PR-Nibble
+//! parameters, which is what lets one batch mix all five diffusions.
+//!
+//! # Workspace layout
+//!
+//! * [`parallel`] — thread pool and work-depth primitives (prefix sums,
+//!   filter, parallel sorts, atomic `f64`, bitsets).
+//! * [`sparse`] — sequential and phase-concurrent sparse sets, plus the
+//!   adaptive dense/sparse `MassMap`.
+//! * [`graph`] — CSR graphs, generators, conductance utilities, I/O.
+//! * [`ligra`] — `vertexSubset` / `vertexMap` / direction-optimizing
+//!   `edgeMap` frontier framework.
+//! * [`cluster`] — the paper's algorithms behind the [`Engine`]: Nibble,
+//!   PR-Nibble, HK-PR, rand-HK-PR, evolving sets, sweep cuts, and NCP
+//!   plots.
 
 pub use lgc_core as cluster;
 pub use lgc_graph as graph;
@@ -39,9 +83,10 @@ pub use lgc_sparse as sparse;
 pub use lgc_core::{
     batch_prnibble, evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq,
     ncp_prnibble, nibble_par, nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq,
-    rand_hkpr_par, rand_hkpr_seq, sweep_cut_par, sweep_cut_seq, Algorithm, ClusterResult,
-    Diffusion, Direction, DirectionMode, DirectionParams, EvolvingParams, HkprParams, NcpParams,
-    NibbleParams, PrNibbleParams, PushRule, Query, RandHkprParams, Seed, SweepCut,
+    rand_hkpr_par, rand_hkpr_seq, run_batch, sweep_cut_par, sweep_cut_seq, Algorithm,
+    ClusterResult, Diffusion, Direction, DirectionMode, DirectionParams, Engine, EngineBuilder,
+    EvolvingParams, HkprParams, LocalDiffusion, NcpParams, NibbleParams, PrNibbleParams, PushRule,
+    Query, RandHkprParams, Seed, SweepCut, Workspace,
 };
 pub use lgc_graph::{Graph, GraphBuilder};
 pub use lgc_parallel::Pool;
