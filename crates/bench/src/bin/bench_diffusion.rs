@@ -23,18 +23,114 @@
 //! the previous recording is embedded together with per-row speedups,
 //! which is how a PR documents its measured improvement.
 //!
+//! The `service` section records the shared-runtime serving shapes:
+//! **small_batch** — the same 8-query mixed batch issued repeatedly,
+//! cold (`run_batch` free function: fresh per-worker workspaces every
+//! call, PR 3's behavior) vs through a persistent `Engine` whose
+//! checkout pool keeps the per-worker workspaces warm *across* calls
+//! (`reuse{t}` ≥ 1.0 means cross-call reuse won) — and
+//! **two_graph_stream** — a mixed query stream alternating between two
+//! suite graphs registered in one `Service` over one shared pool
+//! (`qps{t}` is the resulting throughput).
+//!
 //! The emitter keeps each result object on its own line; the `--baseline`
 //! reader relies on that line discipline instead of a JSON parser (the
 //! container has no serde).
 
 use lgc_bench::{suite, suite_seed, time_best_of, SuiteGraph};
 use lgc_core as lgc;
-use lgc_core::{Engine, Seed};
+use lgc_core::{Engine, Seed, Service};
 use lgc_ligra::DirectionParams;
 use lgc_parallel::Pool;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Queries per small batch (the "repeated small batches" serving shape).
+const SMALL_BATCH: usize = 8;
+
+/// One service-section measurement: a workload over one or two graphs,
+/// with an optional cold comparator column family.
+struct SvcRow {
+    graph: String,
+    workload: &'static str,
+    /// Cold per-call times (the pre-Service baseline), when the workload
+    /// has a meaningful one.
+    cold_s: Option<[f64; THREADS.len()]>,
+    /// Times through the persistent engine / service.
+    svc_s: [f64; THREADS.len()],
+    /// Queries per timed run (for the derived throughput column).
+    queries: usize,
+}
+
+impl SvcRow {
+    fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"graph\": \"{}\", \"workload\": \"{}\"",
+            self.graph, self.workload
+        );
+        if let Some(cold_s) = self.cold_s {
+            for (t, secs) in THREADS.iter().zip(cold_s) {
+                let _ = write!(s, ", \"cold{t}_s\": {secs:.6}");
+            }
+        }
+        for (t, secs) in THREADS.iter().zip(self.svc_s) {
+            let _ = write!(s, ", \"svc{t}_s\": {secs:.6}");
+        }
+        match self.cold_s {
+            Some(cold_s) => {
+                for ((t, cold), svc) in THREADS.iter().zip(cold_s).zip(self.svc_s) {
+                    let _ = write!(s, ", \"reuse{t}\": {:.3}", cold / svc);
+                }
+            }
+            None => {
+                for (t, secs) in THREADS.iter().zip(self.svc_s) {
+                    let _ = write!(s, ", \"qps{t}\": {:.0}", self.queries as f64 / secs);
+                }
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The mixed query list for the service workloads: `count` queries over
+/// seeds spread across `g`'s largest component, cycling PR-Nibble /
+/// HK-PR / Nibble (all sweep-rounded, like real serving traffic).
+fn service_queries(g: &lgc_graph::Graph, count: usize) -> Vec<lgc::Query> {
+    let comp = lgc_graph::largest_component(g);
+    (0..count)
+        .map(|k| {
+            let v = comp[(k * (comp.len() / count).max(1)) % comp.len()];
+            // Same tightness class as the single-query rows: the
+            // PR-Nibble / HK-PR items go high-volume (dense-mode mass
+            // arenas), which is exactly the scratch whose cold per-call
+            // allocation the checkout pool amortizes away.
+            let algo = match k % 3 {
+                0 => lgc::Algorithm::PrNibble(lgc::PrNibbleParams {
+                    alpha: 0.01,
+                    eps: 1e-6,
+                    ..Default::default()
+                }),
+                1 => lgc::Algorithm::Hkpr(lgc::HkprParams {
+                    t: 10.0,
+                    n_levels: 15,
+                    eps: 1e-6,
+                    ..Default::default()
+                }),
+                _ => lgc::Algorithm::Nibble(lgc::NibbleParams {
+                    t_max: 15,
+                    eps: 1e-7,
+                    ..Default::default()
+                }),
+            };
+            lgc::Query::new(Seed::single(v), algo)
+        })
+        .collect()
+}
 
 struct Row {
     graph: String,
@@ -118,7 +214,7 @@ impl Row {
     }
 }
 
-fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec<Row> {
+fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> (Vec<Row>, SvcRow) {
     let g = &sg.graph;
     let seed = Seed::single(suite_seed(g));
     let mut rows = Vec::new();
@@ -126,7 +222,7 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
     // repeated queries against it, workspace recycled throughout (and
     // kept warm across the graph's four workload rows, like a serving
     // process would).
-    let mut engines: Vec<Engine> = THREADS
+    let engines: Vec<Engine> = THREADS
         .iter()
         .map(|&t| Engine::builder(g).threads(t).build())
         .collect();
@@ -255,7 +351,97 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> Vec
             engines[i].ncp(&ncp);
         },
     );
-    rows
+
+    // The serving shape: the same small batch issued repeatedly. Cold =
+    // free `run_batch` (fresh per-worker-chunk workspaces on every call,
+    // exactly PR 3's `Engine::run_batch`); svc = the persistent engine's
+    // checkout pool keeping those workspaces warm across calls. Each
+    // timed unit is a run of consecutive calls — the workload under
+    // measurement is the *stream* of small batches, and the longer unit
+    // keeps timer noise out of the reuse ratio.
+    // Per-rep wall-clock scatter on a busy 1-core host is ±5%, well
+    // above the few-percent allocation effect under measurement, so the
+    // reuse columns take the best of more units than the compute rows.
+    const CALLS_PER_UNIT: usize = 4;
+    let reps = reps.max(6);
+    let batch = service_queries(g, SMALL_BATCH);
+    let mut cold_s = [0.0; THREADS.len()];
+    let mut svc_s = [0.0; THREADS.len()];
+    for (i, pool) in pools.iter().enumerate() {
+        // Prime the checkout pool, then interleave the cold/svc units
+        // rep-by-rep so clock drift over the measurement window cannot
+        // systematically favor the side that runs first.
+        engines[i].run_batch(&batch);
+        let (mut cold_best, mut svc_best) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let (_, secs) = lgc_bench::time(|| {
+                for _ in 0..CALLS_PER_UNIT {
+                    lgc::run_batch(pool, g, &batch);
+                }
+            });
+            cold_best = cold_best.min(secs);
+            let (_, secs) = lgc_bench::time(|| {
+                for _ in 0..CALLS_PER_UNIT {
+                    engines[i].run_batch(&batch);
+                }
+            });
+            svc_best = svc_best.min(secs);
+        }
+        cold_s[i] = cold_best / CALLS_PER_UNIT as f64;
+        svc_s[i] = svc_best / CALLS_PER_UNIT as f64;
+    }
+    eprintln!(
+        "  {:<10} cold {:?}ms  svc {:?}ms",
+        "batch8",
+        cold_s.map(|s| (s * 1e4).round() / 10.0),
+        svc_s.map(|s| (s * 1e4).round() / 10.0)
+    );
+    let svc_row = SvcRow {
+        graph: sg.name.to_string(),
+        workload: "small_batch",
+        cold_s: Some(cold_s),
+        svc_s,
+        queries: SMALL_BATCH,
+    };
+    (rows, svc_row)
+}
+
+/// The 2-graph shared-pool throughput workload: one `Service` hosting
+/// `a` and `b` over a single shared pool per thread count, drained by a
+/// mixed stream alternating between the graphs.
+fn bench_two_graph_stream(a: &SuiteGraph, b: &SuiteGraph, reps: usize) -> SvcRow {
+    let qa = service_queries(&a.graph, SMALL_BATCH);
+    let qb = service_queries(&b.graph, SMALL_BATCH);
+    let mut svc_s = [0.0; THREADS.len()];
+    for (i, &t) in THREADS.iter().enumerate() {
+        let svc = Service::builder()
+            .pool(Pool::shared(t))
+            .add_graph_shared("a", Arc::new(a.graph.clone()))
+            .add_graph_shared("b", Arc::new(b.graph.clone()))
+            .build();
+        let stream = || {
+            for (x, y) in qa.iter().zip(&qb) {
+                svc.engine("a").unwrap().run(x);
+                svc.engine("b").unwrap().run(y);
+            }
+        };
+        stream(); // prime workspaces and caches
+        let (_, secs) = time_best_of(reps, stream);
+        svc_s[i] = secs;
+    }
+    eprintln!(
+        "# service stream {}+{}: {:?}ms",
+        a.name,
+        b.name,
+        svc_s.map(|s| (s * 1e4).round() / 10.0)
+    );
+    SvcRow {
+        graph: format!("{}+{}", a.name, b.name),
+        workload: "two_graph_stream",
+        cold_s: None,
+        svc_s,
+        queries: 2 * SMALL_BATCH,
+    }
 }
 
 fn read_baseline(path: &str) -> Vec<Row> {
@@ -299,6 +485,8 @@ fn main() {
         }
     }
     let mut rows: Vec<Row> = Vec::new();
+    let mut svc_rows: Vec<SvcRow> = Vec::new();
+    let mut benched: Vec<&SuiteGraph> = Vec::new();
     for sg in &graphs {
         if let Some(only) = &only {
             if !only.iter().any(|n| n == sg.name) {
@@ -311,7 +499,22 @@ fn main() {
             sg.graph.num_vertices(),
             sg.graph.num_edges()
         );
-        rows.extend(bench_graph(sg, &pools, reps, quick));
+        let (graph_rows, svc_row) = bench_graph(sg, &pools, reps, quick);
+        rows.extend(graph_rows);
+        svc_rows.push(svc_row);
+        benched.push(sg);
+    }
+    // The 2-graph shared-pool stream: the first two benched graphs, or
+    // (single-graph smoke runs) the benched graph paired with the next
+    // suite graph so the workload is still two tenants.
+    if let Some(&a) = benched.first() {
+        let b = benched
+            .get(1)
+            .copied()
+            .or_else(|| graphs.iter().find(|sg| !std::ptr::eq(*sg, a)));
+        if let Some(b) = b {
+            svc_rows.push(bench_two_graph_stream(a, b, reps));
+        }
     }
 
     let mut json = String::new();
@@ -380,6 +583,14 @@ fn main() {
         })
         .collect();
     let _ = writeln!(json, "{}", warm_lines.join(",\n"));
+    json.push_str("  ],\n");
+    // The shared-runtime serving shapes: repeated small batches (cold
+    // per-call workspaces vs the engine's cross-call checkout pool) and
+    // the 2-graph shared-pool stream. `reuse{t}` ≥ 1.0 means warm
+    // cross-call workspaces were no slower than PR 3's cold start.
+    let _ = writeln!(json, "  \"service\": [");
+    let svc_lines: Vec<String> = svc_rows.iter().map(SvcRow::to_json_line).collect();
+    let _ = writeln!(json, "{}", svc_lines.join(",\n"));
     json.push_str("  ]");
     if let Some((path, base_rows)) = &baseline {
         json.push_str(",\n");

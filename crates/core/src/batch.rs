@@ -20,7 +20,7 @@
 //! parallel algorithms; the two modes compose the same primitives, so
 //! comparing them quantifies the paper's §1 trade-off on real hardware.
 
-use crate::engine::{run_query, Query, Workspace};
+use crate::engine::{run_query, Query, Workspace, WorkspacePool};
 use crate::result::ClusterResult;
 use lgc_graph::Graph;
 use lgc_ligra::DirectionParams;
@@ -34,17 +34,27 @@ use lgc_parallel::{Pool, UnsafeSlice};
 /// running each query alone on a 1-thread engine (workspace recycling is
 /// observationally invisible — see the workspace-reuse proptests), so
 /// the output does not depend on the thread count.
+///
+/// This free form cold-starts one workspace per worker chunk per call;
+/// [`Engine::run_batch`](crate::Engine::run_batch) and
+/// [`Service`](crate::Service) route through the engine's checkout pool
+/// instead, so a stream of small batches reuses warm workspaces *across*
+/// calls (the `service` section of `bench_diffusion` measures the
+/// difference).
 pub fn run_batch(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult> {
-    run_batch_dir(pool, g, queries, None)
+    run_batch_shared(pool, g, queries, None, None)
 }
 
 /// [`run_batch`] with an optional engine-level direction override
-/// applied to every query.
-pub(crate) fn run_batch_dir(
+/// applied to every query, and an optional [`WorkspacePool`] worker
+/// chunks check their workspaces out of (warm across calls) instead of
+/// cold-starting one each.
+pub(crate) fn run_batch_shared(
     pool: &Pool,
     g: &Graph,
     queries: &[Query],
     dir: Option<DirectionParams>,
+    workspaces: Option<&WorkspacePool>,
 ) -> Vec<ClusterResult> {
     use crate::engine::LocalDiffusion as _;
     let n = queries.len();
@@ -57,9 +67,13 @@ pub(crate) fn run_batch_dir(
         pool.run(n, grain, |s, e| {
             // Per-worker-chunk state: an inline sequential sub-pool (no
             // threads spawned) plus a workspace recycled across the
-            // chunk's queries.
+            // chunk's queries — checked out of the shared pool when the
+            // caller has one (lock held only at the chunk boundary).
             let sub = Pool::sequential();
-            let mut ws = Workspace::new();
+            let mut ws = match workspaces {
+                Some(p) => p.checkout(),
+                None => Workspace::new(),
+            };
             // Global index i addresses both `queries` and the output.
             #[allow(clippy::needless_range_loop)]
             for i in s..e {
@@ -72,6 +86,9 @@ pub(crate) fn run_batch_dir(
                 // SAFETY: each query index is written exactly once.
                 unsafe { view.write(i, Some(result)) };
             }
+            if let Some(p) = workspaces {
+                p.restore(ws);
+            }
         });
     }
     out.into_iter()
@@ -80,9 +97,8 @@ pub(crate) fn run_batch_dir(
 }
 
 /// Legacy name for [`run_batch`] from when batch execution was
-/// PR-Nibble-only; it now accepts any mix of algorithms. Prefer
-/// [`Engine::run_batch`](crate::Engine::run_batch), which carries the
-/// pool and graph for you.
+/// PR-Nibble-only; it now accepts any mix of algorithms.
+#[deprecated(note = "use Engine::run_batch / Service (or the free run_batch)")]
 pub fn batch_prnibble(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult> {
     run_batch(pool, g, queries)
 }
@@ -144,7 +160,7 @@ mod tests {
         let pool = Pool::new(2);
         let batch = run_batch(&pool, &g, &qs);
         assert_eq!(batch.len(), 10);
-        let mut engine = Engine::builder(&g).threads(1).build();
+        let engine = Engine::builder(&g).threads(1).build();
         for (q, got) in qs.iter().zip(&batch) {
             let want = engine.run(q);
             assert_eq!(got.cluster, want.cluster, "{:?}", q.algo);
@@ -170,6 +186,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn legacy_name_still_works() {
         let g = gen::cycle(40);
         let qs = vec![Query::new(

@@ -10,14 +10,18 @@
 //! contribution slices, sweep rank tables — on every call, even though
 //! all of it is reusable across queries against the same graph.
 //!
-//! [`Engine`] fixes that: an owned handle bundling a [`Pool`], a
-//! `&Graph`, and a [`Workspace`] of recyclable buffers, built once and
-//! then hit with any number of queries:
+//! [`Engine`] fixes that: a handle bundling a [`Pool`] (owned, or an
+//! `Arc` share of a server-wide one), a `&Graph`, a checkout pool of
+//! [`Workspace`]s, and a [`GraphCache`] of seed-independent state —
+//! built once and then hit with any number of queries **from any number
+//! of threads**, because every query method takes `&self` (scratch is
+//! checked out of the workspace pool at the query boundary, not borrowed
+//! from the engine):
 //!
 //! ```
 //! use lgc_core::{Algorithm, Engine, PrNibbleParams, Query, Seed};
 //! let g = lgc_graph::gen::two_cliques_bridge(12);
-//! let mut engine = Engine::builder(&g).threads(2).build();
+//! let engine = Engine::builder(&g).threads(2).build();
 //! let result = engine.run(&Query::new(
 //!     Seed::single(3),
 //!     Algorithm::PrNibble(PrNibbleParams::default()),
@@ -30,16 +34,23 @@
 //! is *bit-identical* to the corresponding free function: the workspace
 //! checkout path ([`lgc_sparse::MassMap::recycle`],
 //! [`lgc_ligra::Frontier::recycle`]) re-fits each recycled buffer so it
-//! is observationally indistinguishable from a fresh allocation. Warm
-//! queries simply skip the allocator.
+//! is observationally indistinguishable from a fresh allocation, and
+//! every [`GraphCache`] hit returns exactly the bits an uncached run
+//! would compute. Warm queries simply skip the allocator.
 //!
 //! Batch execution generalizes to any algorithm through
 //! [`Engine::run_batch`] / [`run_batch`]: queries are fanned across the
-//! pool's threads, each worker chunk recycling its own private
-//! [`Workspace`] from query to query (see [`crate::batch`] for the
-//! inter- vs intra-query parallelism trade-off the paper discusses).
+//! pool's threads, each worker chunk checking a private [`Workspace`]
+//! out of the engine's pool — warm across `run_batch` *calls*, not just
+//! within one (see [`crate::batch`] for the inter- vs intra-query
+//! parallelism trade-off the paper discusses).
+//!
+//! Serving many graphs from one process is the job of
+//! [`Service`](crate::Service), which hosts one [`EngineHandle`]-shaped
+//! entry per registered graph over a single shared [`Pool`].
 
-use crate::batch::run_batch_dir;
+use crate::batch::run_batch_shared;
+use crate::cache::GraphCache;
 use crate::evolving::evolving_set_par_ws;
 use crate::ncp::{ncp_prnibble_ws, NcpParams, NcpPoint};
 use crate::result::{ClusterResult, Diffusion};
@@ -50,6 +61,7 @@ use lgc_graph::Graph;
 use lgc_ligra::{DirectionParams, Frontier, VertexSubset};
 use lgc_parallel::{Bitset, Pool};
 use lgc_sparse::{ConcurrentRankMap, ConcurrentSparseVec, MassMap};
+use std::sync::{Arc, Mutex};
 
 /// A pool of recyclable scratch buffers shared by every diffusion.
 ///
@@ -85,6 +97,10 @@ pub struct Workspace {
     pub(crate) sweep_rank: Option<ConcurrentRankMap>,
     /// Evolving-set `|N(v) ∩ S|` counter.
     pub(crate) counts: Option<ConcurrentSparseVec>,
+    /// Cross-query cache of seed-independent state, shared with every
+    /// other workspace checked out against the same graph. `None` for
+    /// free-function workspaces (they compute everything fresh).
+    cache: Option<Arc<GraphCache>>,
 }
 
 impl Workspace {
@@ -92,6 +108,46 @@ impl Workspace {
     /// query and recycled by every query after it.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty workspace wired to a shared per-graph [`GraphCache`] —
+    /// what the engine's workspace checkout pool hands out, so all
+    /// checkouts against one graph reuse the same ψ tables, degree
+    /// vector, and sizing hints.
+    pub fn with_cache(cache: Arc<GraphCache>) -> Self {
+        Workspace {
+            cache: Some(cache),
+            ..Default::default()
+        }
+    }
+
+    /// The ψ table for `(t, n_levels)` — served from the shared cache
+    /// when there is one (bit-identical to the fresh computation by
+    /// construction), computed fresh otherwise.
+    pub(crate) fn psi_table(&self, t: f64, n_levels: usize) -> Arc<Vec<f64>> {
+        match &self.cache {
+            Some(c) => c.psi(t, n_levels),
+            None => Arc::new(crate::hkpr::psi_table(t, n_levels)),
+        }
+    }
+
+    /// The cached vertex-degree vector, if this workspace is wired to a
+    /// cache. Free-function workspaces return `None` and consumers fall
+    /// back to the CSR offsets — same integers either way.
+    pub(crate) fn cached_degrees(&self, g: &Graph) -> Option<Arc<Vec<u32>>> {
+        self.cache.as_ref().map(|c| c.degrees(g))
+    }
+
+    /// Capacity hint for a fresh sweep rank table (0 when uncached).
+    pub(crate) fn sweep_hint(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.sweep_hint())
+    }
+
+    /// Records a sweep support size into the shared cache, if any.
+    pub(crate) fn note_sweep_support(&self, n: usize) {
+        if let Some(c) = &self.cache {
+            c.note_sweep_support(n);
+        }
     }
 
     /// Checks out a mass map re-fitted exactly as
@@ -151,6 +207,70 @@ impl Workspace {
     /// Returns a dense scratch slice (kept dirty by design).
     pub(crate) fn put_dense(&mut self, v: Vec<f64>) {
         self.dense.push(v);
+    }
+}
+
+/// A checkout pool of [`Workspace`]s behind a freelist — the mechanism
+/// that makes every query method `&self`-callable from any number of OS
+/// threads while staying allocation-warm.
+///
+/// The lock is held only at the checkout boundary (a `Vec` pop/push per
+/// query or per batch worker chunk), never during a diffusion, so
+/// concurrent queries contend for microseconds, not milliseconds. Every
+/// checkout is wired to the pool's shared [`GraphCache`]; since recycled
+/// buffers are re-fitted to be observationally fresh and cache hits are
+/// bit-identical to fresh computation, *which* workspace a query happens
+/// to receive is invisible in its output — the invariant the concurrent
+/// service proptests hammer.
+pub struct WorkspacePool {
+    free: Mutex<Vec<Workspace>>,
+    cache: Arc<GraphCache>,
+}
+
+/// At most this many idle workspaces are parked per graph. Workspaces
+/// accrete `O(n)` dense arenas over their lifetime, so an unbounded
+/// freelist would pin burst-peak memory forever in a long-lived service
+/// (the same reasoning that caps the ψ cache); restores beyond the cap
+/// drop the workspace instead. Covers the batch fan-out of pools up to
+/// 16 threads (`threads × 4` worker chunks).
+const MAX_PARKED_WORKSPACES: usize = 64;
+
+impl WorkspacePool {
+    /// An empty pool whose checkouts share `cache`.
+    pub(crate) fn new(cache: Arc<GraphCache>) -> Self {
+        WorkspacePool {
+            free: Mutex::new(Vec::new()),
+            cache,
+        }
+    }
+
+    /// Pops a warm workspace, or creates a fresh cache-wired one when
+    /// the freelist is empty (all warm ones are in flight).
+    pub(crate) fn checkout(&self) -> Workspace {
+        let warm = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        warm.unwrap_or_else(|| Workspace::with_cache(Arc::clone(&self.cache)))
+    }
+
+    /// Returns a workspace to the freelist, dropping it instead once
+    /// [`MAX_PARKED_WORKSPACES`] are already parked — a concurrency
+    /// burst beyond the cap loses warmth, not correctness, and resident
+    /// scratch stays bounded. (A query that panics simply drops its
+    /// checkout the same way.)
+    pub(crate) fn restore(&self, ws: Workspace) {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        if free.len() < MAX_PARKED_WORKSPACES {
+            free.push(ws);
+        }
+    }
+
+    /// Number of warm workspaces currently parked in the freelist.
+    pub(crate) fn warm_count(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The shared per-graph cache all checkouts are wired to.
+    pub(crate) fn cache(&self) -> &Arc<GraphCache> {
+        &self.cache
     }
 }
 
@@ -336,9 +456,64 @@ pub(crate) fn run_query(
         }
         _ => {
             let diffusion = algo.diffuse(pool, g, seed, ws);
-            let sweep = sweep_cut_par_ws(pool, g, &diffusion.p, &mut ws.sweep_rank);
+            let sweep = sweep_cut_par_ws(pool, g, &diffusion.p, ws);
             ClusterResult::new(diffusion, sweep)
         }
+    }
+}
+
+/// The engine's pool slot: its own workers, or a share of a runtime-wide
+/// set (how a [`Service`](crate::Service) hosts many graphs over one
+/// pool without per-graph worker fleets).
+pub(crate) enum PoolRef {
+    /// The engine spawned (and will join) its own workers.
+    Owned(Pool),
+    /// A reference-counted share of a pool owned elsewhere.
+    Shared(Arc<Pool>),
+}
+
+impl std::ops::Deref for PoolRef {
+    type Target = Pool;
+    fn deref(&self) -> &Pool {
+        match self {
+            PoolRef::Owned(p) => p,
+            PoolRef::Shared(p) => p,
+        }
+    }
+}
+
+/// The graph-independent half of an engine: pool slot, direction
+/// override, workspace checkout pool, per-graph cache. [`Engine`] pairs
+/// one with a borrowed graph; [`Service`](crate::Service) keeps one per
+/// registered graph over a shared pool.
+pub(crate) struct EngineCore {
+    pool: PoolRef,
+    dir: Option<DirectionParams>,
+    workspaces: WorkspacePool,
+}
+
+impl EngineCore {
+    pub(crate) fn new(pool: PoolRef, dir: Option<DirectionParams>) -> Self {
+        EngineCore {
+            pool,
+            dir,
+            workspaces: WorkspacePool::new(Arc::new(GraphCache::new())),
+        }
+    }
+
+    /// A query handle over this core and `g`.
+    pub(crate) fn handle<'a>(&'a self, g: &'a Graph) -> EngineHandle<'a> {
+        EngineHandle {
+            g,
+            pool: &self.pool,
+            dir: self.dir,
+            workspaces: &self.workspaces,
+        }
+    }
+
+    /// The core's per-graph cache.
+    pub(crate) fn cache(&self) -> &Arc<GraphCache> {
+        self.workspaces.cache()
     }
 }
 
@@ -346,7 +521,7 @@ pub(crate) fn run_query(
 pub struct EngineBuilder<'g> {
     g: &'g Graph,
     threads: Option<usize>,
-    pool: Option<Pool>,
+    pool: Option<PoolRef>,
     dir: Option<DirectionParams>,
 }
 
@@ -361,7 +536,15 @@ impl<'g> EngineBuilder<'g> {
 
     /// Adopts an already-built pool (overrides [`Self::threads`]).
     pub fn pool(mut self, pool: Pool) -> Self {
-        self.pool = Some(pool);
+        self.pool = Some(PoolRef::Owned(pool));
+        self
+    }
+
+    /// Shares an existing pool instead of spawning one — several engines
+    /// (or a whole [`Service`](crate::Service)) over one worker set.
+    /// Overrides [`Self::threads`].
+    pub fn shared_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(PoolRef::Shared(pool));
         self
     }
 
@@ -376,33 +559,33 @@ impl<'g> EngineBuilder<'g> {
 
     /// Builds the engine (spawning the pool's workers if needed).
     pub fn build(self) -> Engine<'g> {
-        let pool = self.pool.unwrap_or_else(|| match self.threads {
-            Some(t) => Pool::new(t),
-            None => Pool::with_default_threads(),
+        let pool = self.pool.unwrap_or_else(|| {
+            PoolRef::Owned(match self.threads {
+                Some(t) => Pool::new(t),
+                None => Pool::with_default_threads(),
+            })
         });
         Engine {
             g: self.g,
-            pool,
-            dir: self.dir,
-            ws: Workspace::new(),
+            core: EngineCore::new(pool, self.dir),
         }
     }
 }
 
-/// An owned query handle over one graph: a thread [`Pool`], the graph,
-/// and a [`Workspace`] of recyclable buffers. Build once, query many
-/// times; see the crate docs for the full story.
+/// A query handle over one graph: a thread [`Pool`] (owned or shared),
+/// the graph, a checkout pool of [`Workspace`]s, and a [`GraphCache`].
+/// Build once, query many times — from as many threads as you like,
+/// since every query method takes `&self`. See the crate docs for the
+/// full story.
 ///
 /// Queries through a warm engine return results bit-identical to the
 /// corresponding free functions (`prnibble_par` + `sweep_cut_par`, …) —
-/// the workspace is invisible in the output, only in the allocator
-/// profile and the amortized per-query latency (`bench_diffusion`
-/// records the warm column).
+/// workspace checkouts and cache hits are invisible in the output, only
+/// in the allocator profile and the amortized per-query latency
+/// (`bench_diffusion` records the warm and service columns).
 pub struct Engine<'g> {
     g: &'g Graph,
-    pool: Pool,
-    dir: Option<DirectionParams>,
-    ws: Workspace,
+    core: EngineCore,
 }
 
 impl<'g> Engine<'g> {
@@ -428,12 +611,105 @@ impl<'g> Engine<'g> {
 
     /// The engine's thread pool.
     pub fn pool(&self) -> &Pool {
-        &self.pool
+        &self.core.pool
+    }
+
+    /// Total threads participating in each query.
+    pub fn num_threads(&self) -> usize {
+        self.core.pool.num_threads()
+    }
+
+    /// The engine's cache of seed-independent state (ψ tables, degree
+    /// vector, graph summary) — exposed for observability; queries
+    /// consult it automatically.
+    pub fn cache(&self) -> &Arc<GraphCache> {
+        self.core.workspaces.cache()
+    }
+
+    /// Number of warm workspaces parked in the checkout pool (0 on a
+    /// fresh engine; grows to the peak number of concurrent queries /
+    /// batch worker chunks, then stabilizes — the cross-call reuse the
+    /// service bench measures).
+    pub fn warm_workspaces(&self) -> usize {
+        self.core.workspaces.warm_count()
+    }
+
+    /// A borrowed, `Copy` query handle — what [`Engine`]'s own query
+    /// methods delegate to, and the exact shape
+    /// [`Service::engine`](crate::Service::engine) returns for its
+    /// registered graphs.
+    pub fn handle(&self) -> EngineHandle<'_> {
+        self.core.handle(self.g)
+    }
+
+    /// Runs one full query — diffusion plus sweep-cut rounding (the
+    /// evolving-set process reports its best set directly; see
+    /// [`ClusterResult::from_evolving`]) — over a workspace checked out
+    /// of the engine's pool. Equivalent to [`crate::find_cluster`],
+    /// minus the allocations. Callable from any thread.
+    pub fn run(&self, query: &Query) -> ClusterResult {
+        self.handle().run(query)
+    }
+
+    /// Runs just the diffusion of `algo` from `seed` (no sweep).
+    /// Equivalent to the algorithm's `*_par` free function.
+    pub fn diffuse(&self, seed: &Seed, algo: &Algorithm) -> Diffusion {
+        self.handle().diffuse(seed, algo)
+    }
+
+    /// Runs many independent queries — any mix of algorithms — fanned
+    /// across the pool's threads, each worker chunk checking a private
+    /// workspace out of the engine's pool (warm across calls). Results
+    /// are position-aligned with `queries`, thread-count independent,
+    /// and bit-identical to running each query alone on a
+    /// single-threaded engine (see [`crate::run_batch`] for the
+    /// contract).
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<ClusterResult> {
+        self.handle().run_batch(queries)
+    }
+
+    /// Computes a network community profile (§4) with PR-Nibble
+    /// diffusions, one workspace checkout serving the whole
+    /// seed × α × ε grid — the highest-leverage consumer of workspace
+    /// recycling, since an NCP scan is hundreds of back-to-back queries.
+    pub fn ncp(&self, params: &NcpParams) -> Vec<NcpPoint> {
+        self.handle().ncp(params)
+    }
+}
+
+/// A lightweight (`Copy`) handle for issuing queries against one graph
+/// over a shared runtime: obtained from [`Engine::handle`] or
+/// [`Service::engine`](crate::Service::engine). All methods take `&self`
+/// and may be called concurrently from any number of OS threads; each
+/// query checks a [`Workspace`] out of the underlying pool for its
+/// duration.
+#[derive(Clone, Copy)]
+pub struct EngineHandle<'a> {
+    g: &'a Graph,
+    pool: &'a Pool,
+    dir: Option<DirectionParams>,
+    workspaces: &'a WorkspacePool,
+}
+
+impl<'a> EngineHandle<'a> {
+    /// The graph this handle queries.
+    pub fn graph(&self) -> &'a Graph {
+        self.g
+    }
+
+    /// The underlying thread pool.
+    pub fn pool(&self) -> &'a Pool {
+        self.pool
     }
 
     /// Total threads participating in each query.
     pub fn num_threads(&self) -> usize {
         self.pool.num_threads()
+    }
+
+    /// The graph's cache of seed-independent state.
+    pub fn cache(&self) -> &'a Arc<GraphCache> {
+        self.workspaces.cache()
     }
 
     /// Applies the engine-level direction override, if any.
@@ -444,39 +720,31 @@ impl<'g> Engine<'g> {
         }
     }
 
-    /// Runs one full query — diffusion plus sweep-cut rounding (the
-    /// evolving-set process reports its best set directly; see
-    /// [`ClusterResult::from_evolving`]) — reusing the engine's
-    /// workspace. Equivalent to [`crate::find_cluster`], minus the
-    /// allocations.
-    pub fn run(&mut self, query: &Query) -> ClusterResult {
+    /// See [`Engine::run`].
+    pub fn run(&self, query: &Query) -> ClusterResult {
         let algo = self.resolve(&query.algo);
-        run_query(&self.pool, self.g, &mut self.ws, &query.seed, &algo)
+        let mut ws = self.workspaces.checkout();
+        let out = run_query(self.pool, self.g, &mut ws, &query.seed, &algo);
+        self.workspaces.restore(ws);
+        out
     }
 
-    /// Runs just the diffusion of `algo` from `seed` (no sweep), reusing
-    /// the engine's workspace. Equivalent to the algorithm's `*_par` free
-    /// function.
-    pub fn diffuse(&mut self, seed: &Seed, algo: &Algorithm) -> Diffusion {
-        self.resolve(algo)
-            .diffuse(&self.pool, self.g, seed, &mut self.ws)
+    /// See [`Engine::diffuse`].
+    pub fn diffuse(&self, seed: &Seed, algo: &Algorithm) -> Diffusion {
+        let algo = self.resolve(algo);
+        let mut ws = self.workspaces.checkout();
+        let out = algo.diffuse(self.pool, self.g, seed, &mut ws);
+        self.workspaces.restore(ws);
+        out
     }
 
-    /// Runs many independent queries — any mix of algorithms — fanned
-    /// across the pool's threads, each worker chunk recycling a private
-    /// workspace from query to query. Results are position-aligned with
-    /// `queries`, thread-count independent, and bit-identical to running
-    /// each query alone on a single-threaded engine (see
-    /// [`crate::run_batch`] for the contract).
+    /// See [`Engine::run_batch`].
     pub fn run_batch(&self, queries: &[Query]) -> Vec<ClusterResult> {
-        run_batch_dir(&self.pool, self.g, queries, self.dir)
+        run_batch_shared(self.pool, self.g, queries, self.dir, Some(self.workspaces))
     }
 
-    /// Computes a network community profile (§4) with PR-Nibble
-    /// diffusions, reusing the engine's workspace across the whole
-    /// seed × α × ε grid — the highest-leverage consumer of workspace
-    /// recycling, since an NCP scan is hundreds of back-to-back queries.
-    pub fn ncp(&mut self, params: &NcpParams) -> Vec<NcpPoint> {
+    /// See [`Engine::ncp`].
+    pub fn ncp(&self, params: &NcpParams) -> Vec<NcpPoint> {
         let params = match self.dir {
             Some(dir) => NcpParams {
                 dir,
@@ -484,7 +752,10 @@ impl<'g> Engine<'g> {
             },
             None => params.clone(),
         };
-        ncp_prnibble_ws(&self.pool, self.g, &params, &mut self.ws)
+        let mut ws = self.workspaces.checkout();
+        let out = ncp_prnibble_ws(self.pool, self.g, &params, &mut ws);
+        self.workspaces.restore(ws);
+        out
     }
 }
 
@@ -534,7 +805,7 @@ mod tests {
     fn warm_engine_matches_free_functions_bitwise_at_one_thread() {
         let g = gen::rmat_graph500(9, 8, 21);
         let seed = Seed::single(lgc_graph::largest_component(&g)[0]);
-        let mut engine = Engine::builder(&g).threads(1).build();
+        let engine = Engine::builder(&g).threads(1).build();
         for round in 0..2 {
             for algo in algorithms() {
                 let warm = engine.run(&Query::new(seed.clone(), algo.clone()));
@@ -559,7 +830,7 @@ mod tests {
     fn engine_diffuse_matches_par_free_functions() {
         let g = gen::rand_local(600, 5, 3);
         let seed = Seed::single(0);
-        let mut engine = Engine::builder(&g).threads(1).build();
+        let engine = Engine::builder(&g).threads(1).build();
         let pool = Pool::new(1);
         for algo in algorithms() {
             let warm = engine.diffuse(&seed, &algo);
@@ -583,7 +854,7 @@ mod tests {
             rng_seed: 5,
             ..Default::default()
         };
-        let mut engine = Engine::builder(&g).threads(2).build();
+        let engine = Engine::builder(&g).threads(2).build();
         let got = engine.run(&Query::new(Seed::single(0), Algorithm::Evolving(params)));
         let pool = Pool::new(2);
         let want = evolving_set_par(&pool, &g, &Seed::single(0), &params);
@@ -610,7 +881,7 @@ mod tests {
         // And an engine built with the override still gets the planted
         // cluster right (pull-pinned traversals are direction-invariant).
         let g = gen::two_cliques_bridge(8);
-        let mut engine = Engine::builder(&g).threads(2).direction(pin).build();
+        let engine = Engine::builder(&g).threads(2).direction(pin).build();
         let res = engine.run(&Query::new(
             Seed::single(1),
             Algorithm::PrNibble(PrNibbleParams::default()),
@@ -630,6 +901,129 @@ mod tests {
         assert_eq!(Engine::new(&g).graph().num_vertices(), 10);
     }
 
+    /// `&self` queries: several OS threads hammer one engine over a
+    /// shared 1-thread pool; every result is bit-identical to a cold
+    /// single-thread free-function run.
+    #[test]
+    fn concurrent_queries_through_one_engine_are_bitwise_cold() {
+        let g = gen::rand_local(400, 5, 6);
+        let engine = Engine::builder(&g).shared_pool(Pool::shared(1)).build();
+        let results: Vec<(Seed, Algorithm, ClusterResult)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let engine = &engine;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for round in 0..3u32 {
+                            let seed = Seed::single((i * 97 + round * 31) % 400);
+                            let algo = algorithms()[(i + round) as usize % 5].clone();
+                            let res = engine.run(&Query::new(seed.clone(), algo.clone()));
+                            out.push((seed, algo, res));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let pool = Pool::new(1);
+        for (seed, algo, got) in results {
+            let want = find_cluster(&pool, &g, &seed, &algo);
+            assert_eq!(got.diffusion.p, want.diffusion.p, "{}", algo.name());
+            assert_eq!(got.cluster, want.cluster);
+            assert_eq!(got.conductance, want.conductance);
+        }
+        // The checkout pool parked the in-flight workspaces for reuse.
+        let warm = engine.warm_workspaces();
+        assert!((1..=4).contains(&warm), "warm={warm}");
+    }
+
+    /// Two engines over two graphs sharing one `Arc<Pool>`: no second
+    /// worker fleet, queries from both still correct.
+    #[test]
+    fn engines_share_one_pool() {
+        let g1 = gen::two_cliques_bridge(9);
+        let g2 = gen::cycle(24);
+        let pool = Pool::shared(2);
+        let e1 = Engine::builder(&g1).shared_pool(Arc::clone(&pool)).build();
+        let e2 = Engine::builder(&g2).shared_pool(pool).build();
+        assert_eq!(e1.num_threads(), 2);
+        assert_eq!(e2.num_threads(), 2);
+        assert!(std::ptr::eq(e1.pool(), e2.pool()), "same worker set");
+        let q = |v| {
+            Query::new(
+                Seed::single(v),
+                Algorithm::PrNibble(PrNibbleParams::default()),
+            )
+        };
+        let mut cluster = e1.run(&q(2)).cluster;
+        cluster.sort_unstable();
+        assert_eq!(cluster, (0..9).collect::<Vec<u32>>());
+        let cold = find_cluster(&Pool::new(2), &g2, &Seed::single(0), &q(0).algo);
+        assert_eq!(e2.run(&q(0)).cluster, cold.cluster);
+    }
+
+    /// `run_batch` keeps its per-worker workspaces warm across calls:
+    /// the second identical batch re-checks them out instead of growing
+    /// the pool, and returns identical results.
+    #[test]
+    fn run_batch_reuses_workspaces_across_calls() {
+        let g = gen::rand_local(300, 5, 2);
+        let engine = Engine::builder(&g).threads(2).build();
+        let queries: Vec<Query> = (0..8u32)
+            .map(|i| {
+                Query::new(
+                    Seed::single(i * 17 % 300),
+                    algorithms()[i as usize % 5].clone(),
+                )
+            })
+            .collect();
+        assert_eq!(engine.warm_workspaces(), 0);
+        let a = engine.run_batch(&queries);
+        let warm = engine.warm_workspaces();
+        assert!(warm >= 1, "batch parked its worker workspaces");
+        let b = engine.run_batch(&queries);
+        assert_eq!(
+            engine.warm_workspaces(),
+            warm,
+            "second call reused the parked workspaces instead of allocating"
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.diffusion.p, y.diffusion.p);
+            assert_eq!(x.cluster, y.cluster);
+        }
+    }
+
+    /// The ψ cache: first HK-PR query misses, repeats hit, results stay
+    /// bit-identical.
+    #[test]
+    fn hkpr_psi_cache_hits_after_first_query() {
+        let g = gen::rand_local(250, 5, 9);
+        let engine = Engine::builder(&g).threads(1).build();
+        let q = Query::new(
+            Seed::single(3),
+            Algorithm::Hkpr(HkprParams {
+                t: 5.0,
+                n_levels: 10,
+                eps: 1e-6,
+                ..Default::default()
+            }),
+        );
+        let a = engine.run(&q);
+        assert_eq!(engine.cache().psi_stats(), (0, 1));
+        let b = engine.run(&q);
+        assert_eq!(engine.cache().psi_stats(), (1, 1));
+        assert_eq!(a.diffusion.p, b.diffusion.p);
+        assert_eq!(a.sweep.conductances, b.sweep.conductances);
+        // And the graph summary endpoint works.
+        let s = engine.cache().summary(&g);
+        assert_eq!(s.num_vertices, 250);
+        assert_eq!(s.num_edges, g.num_edges());
+    }
+
     /// `engine.ncp` equals the free `ncp_prnibble` over the same pool
     /// shape (both fully deterministic given the RNG seed).
     #[test]
@@ -642,7 +1036,7 @@ mod tests {
             rng_seed: 11,
             ..Default::default()
         };
-        let mut engine = Engine::builder(&g).threads(1).build();
+        let engine = Engine::builder(&g).threads(1).build();
         let warm = engine.ncp(&params);
         let warm_again = engine.ncp(&params);
         let pool = Pool::new(1);

@@ -17,13 +17,18 @@
 //! `O(vol(S))`: one `edgeMap` counts `|N(v) ∩ S|` (an exact integer, so
 //! the sequential and parallel versions agree bit-for-bit and follow the
 //! same random trajectory), then a parallel filter applies the threshold.
-//! The lowest-conductance set seen is tracked and returned.
+//! The counting pass is direction-optimized ([`EvolvingParams::dir`]):
+//! large sets count by *pulling* against the set bitset
+//! ([`lgc_ligra::edge_map_dense_count`], plain single-writer writes, no
+//! per-edge atomics) instead of pushing — and because the counts are
+//! integers, the trajectory is bit-identical whichever direction a step
+//! takes. The lowest-conductance set seen is tracked and returned.
 
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::Graph;
-use lgc_ligra::{edge_map, DirectionParams, VertexSubset};
+use lgc_ligra::{edge_map, edge_map_dense_count, Direction, DirectionParams, VertexSubset};
 use lgc_parallel::{filter_map_index, Pool};
 use lgc_sparse::{ConcurrentSparseVec, SparseVec};
 use rand::rngs::StdRng;
@@ -39,15 +44,20 @@ pub struct EvolvingParams {
     pub target_conductance: f64,
     /// RNG seed for the threshold draws.
     pub rng_seed: u64,
-    /// Direction-optimization knob, present so the parameter surface is
-    /// uniform across all five algorithms (every param struct carries
-    /// `dir`, and `Engine::builder(..).direction(..)` rewrites them all).
+    /// Direction-optimization knob for the per-step `|N(v) ∩ S|` count:
+    /// small sets push (one `edgeMap` over `S`'s out-edges, atomic
+    /// integer adds), sets whose `|S| + vol(S)` crosses the dense
+    /// threshold *pull* with [`lgc_ligra::edge_map_dense_count`] — every
+    /// vertex counts its `S`-neighbors against the set bitset with plain
+    /// single-writer writes. The counts are exact integers either way,
+    /// so the random trajectory is **bit-identical across directions and
+    /// thread counts** (enforced by `pull_direction_keeps_the_trajectory`
+    /// below); the knob only moves wall-clock.
     ///
-    /// **Push-only for now**: the `|N(v) ∩ S|` count always runs as one
-    /// push `edgeMap` over `S`'s out-edges and this field is not yet
-    /// consulted — the integer counts would pull deterministically for
-    /// free, which is the ROADMAP follow-up this plumbing prepares.
-    /// Defaults to pinned push to say so honestly.
+    /// Defaults to `dense_denom = 1` (conservative, like Nibble /
+    /// PR-Nibble): the counting gather scans `n + 2m` with no early
+    /// exit, so pulling pays off only once the set's volume is of the
+    /// order of the graph.
     pub dir: DirectionParams,
 }
 
@@ -57,7 +67,10 @@ impl Default for EvolvingParams {
             max_steps: 50,
             target_conductance: 0.0,
             rng_seed: 1,
-            dir: DirectionParams::push_only(),
+            dir: DirectionParams {
+                dense_denom: 1,
+                ..Default::default()
+            },
         }
     }
 }
@@ -167,8 +180,10 @@ pub fn evolving_set_par(
 }
 
 /// [`evolving_set_par`] over a recyclable workspace: the neighbor
-/// counter is checked out of `ws` instead of allocated. The trajectory
-/// is count-exact, so workspace reuse cannot perturb it.
+/// counter and the set frontier (whose bitset backs the pull-mode
+/// counting) are checked out of `ws` instead of allocated. The
+/// trajectory is count-exact, so neither workspace reuse nor the
+/// per-step direction choice can perturb it.
 pub(crate) fn evolving_set_par_ws(
     pool: &Pool,
     g: &Graph,
@@ -176,8 +191,10 @@ pub(crate) fn evolving_set_par_ws(
     params: &EvolvingParams,
     ws: &mut Workspace,
 ) -> EvolvingResult {
+    let n = g.num_vertices();
     let mut rng = StdRng::seed_from_u64(params.rng_seed);
-    let mut current = VertexSubset::from_sorted(seed.vertices().to_vec());
+    let mut current = ws.take_frontier();
+    current.advance(pool, VertexSubset::from_sorted(seed.vertices().to_vec()));
     let mut best = snapshot(g, current.ids());
     let mut sizes = vec![current.len()];
     let mut inside = ws
@@ -193,9 +210,23 @@ pub(crate) fn evolving_set_par_ws(
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
             let vol = current.volume(g);
             inside.reset(pool, vol.max(1));
+            // Exact |N(v) ∩ S| counts for everything adjacent to S —
+            // pushed over S's out-edges (atomic integer adds) or pulled
+            // against its bitset (plain single-writer writes); identical
+            // integers either way.
             {
                 let inside_ref = &inside;
-                edge_map(pool, g, &current, |_, dst| inside_ref.add(dst, 1.0));
+                match params.dir.choose(g, current.len(), vol) {
+                    Direction::Push => {
+                        edge_map(pool, g, current.subset(), |_, dst| inside_ref.add(dst, 1.0));
+                    }
+                    Direction::Pull => {
+                        let bits = current.bits(pool, n);
+                        edge_map_dense_count(pool, g, bits, |dst, c| {
+                            inside_ref.add_exclusive(dst, c as f64);
+                        });
+                    }
+                }
             }
             let mut cands: Vec<u32> = inside.entries(pool).into_iter().map(|(v, _)| v).collect();
             cands.extend_from_slice(current.ids());
@@ -217,11 +248,12 @@ pub(crate) fn evolving_set_par_ws(
             if snap.1 < best.1 {
                 best = snap;
             }
-            current = VertexSubset::from_sorted(next);
+            current.advance(pool, VertexSubset::from_sorted(next));
         }
         params.max_steps
     };
     ws.counts = Some(inside);
+    ws.put_frontier(pool, current);
     finish(best, steps, sizes)
 }
 
@@ -286,6 +318,42 @@ mod tests {
             assert_eq!(a.sizes, b.sizes, "threads={threads}");
             assert_eq!(a.best_set, b.best_set);
             assert_eq!(a.best_conductance, b.best_conductance);
+        }
+    }
+
+    /// The counting pass is direction-invariant: pinned pull, pinned
+    /// push, the auto heuristic, and the sequential reference all follow
+    /// the same random trajectory bit-for-bit (the counts are exact
+    /// integers), at every thread count.
+    #[test]
+    fn pull_direction_keeps_the_trajectory() {
+        // two_cliques_bridge drives the set toward high volume, so the
+        // auto heuristic genuinely flips direction mid-run; rand_local
+        // keeps it mostly pushing. Both must agree with the reference.
+        let graphs = [gen::two_cliques_bridge(16), gen::rand_local(300, 5, 7)];
+        for g in &graphs {
+            for rng_seed in [1u64, 5, 9] {
+                let base = EvolvingParams {
+                    max_steps: 25,
+                    rng_seed,
+                    ..Default::default()
+                };
+                let want = evolving_set_seq(g, &Seed::single(0), &base);
+                for dir in [
+                    DirectionParams::push_only(),
+                    DirectionParams::pull_only(),
+                    base.dir,
+                ] {
+                    let params = EvolvingParams { dir, ..base };
+                    for threads in [1, 2, 4] {
+                        let pool = Pool::new(threads);
+                        let got = evolving_set_par(&pool, g, &Seed::single(0), &params);
+                        assert_eq!(got.sizes, want.sizes, "{dir:?} t={threads}");
+                        assert_eq!(got.best_set, want.best_set);
+                        assert_eq!(got.best_conductance, want.best_conductance);
+                    }
+                }
+            }
         }
     }
 

@@ -20,9 +20,12 @@
 //! sweep cut sorts its support by `p[v]/d(v)` and returns the prefix with
 //! minimum conductance ([`SweepCut`]). The one-call convenience wrapper is
 //! [`find_cluster`]; query loops should build an [`Engine`] instead — the
-//! same pipeline over a recyclable [`Workspace`], with every algorithm
-//! behind the [`LocalDiffusion`] trait and batch fan-out via
-//! [`Engine::run_batch`].
+//! same pipeline over recyclable [`Workspace`] checkouts and a
+//! [`GraphCache`] of seed-independent state, `&self`-queryable from any
+//! number of threads, with every algorithm behind the [`LocalDiffusion`]
+//! trait and batch fan-out via [`Engine::run_batch`]. Processes serving
+//! *several* graphs register them into a [`Service`], which shares one
+//! [`lgc_parallel::Pool`] across all of them.
 //!
 //! ```
 //! use lgc_core::{find_cluster, Algorithm, PrNibbleParams, Seed};
@@ -49,6 +52,7 @@
 //! process (§5), and network-community-profile generation (§4, Fig. 12).
 
 mod batch;
+mod cache;
 mod engine;
 mod evolving;
 mod hkpr;
@@ -58,10 +62,14 @@ mod prnibble;
 mod rand_hkpr;
 mod result;
 mod seed;
+mod service;
 mod sweep;
 
-pub use batch::{batch_prnibble, run_batch};
-pub use engine::{Engine, EngineBuilder, LocalDiffusion, Query, Workspace};
+#[allow(deprecated)] // re-exported for migration; see the item's note
+pub use batch::batch_prnibble;
+pub use batch::run_batch;
+pub use cache::{GraphCache, GraphSummary};
+pub use engine::{Engine, EngineBuilder, EngineHandle, LocalDiffusion, Query, Workspace};
 pub use evolving::{evolving_set_par, evolving_set_seq, EvolvingParams, EvolvingResult};
 pub use hkpr::{hkpr_par, hkpr_seq, psi_table, HkprParams};
 pub use ncp::{ncp_prnibble, NcpParams, NcpPoint};
@@ -72,6 +80,7 @@ pub use prnibble::{
 pub use rand_hkpr::{rand_hkpr_par, rand_hkpr_seq, RandHkprParams};
 pub use result::{ClusterResult, Diffusion, DiffusionStats};
 pub use seed::Seed;
+pub use service::{Service, ServiceBuilder};
 pub use sweep::{sweep_cut_par, sweep_cut_seq, SweepCut};
 
 // The direction-optimization knob carried by the diffusion param structs,

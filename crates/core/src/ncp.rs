@@ -104,7 +104,7 @@ pub(crate) fn ncp_prnibble_ws(
                     ..Default::default()
                 };
                 let d = prnibble_par_ws(pool, g, &Seed::single(seed), &p, ws);
-                let sweep = sweep_cut_par_ws(pool, g, &d.p, &mut ws.sweep_rank);
+                let sweep = sweep_cut_par_ws(pool, g, &d.p, ws);
                 for (i, &phi) in sweep.conductances.iter().enumerate() {
                     if phi.is_finite() {
                         if best.len() <= i {

@@ -1,0 +1,333 @@
+//! The multi-graph query service — one process front door for the
+//! paper's "many analysts, one shared-memory machine" workload.
+//!
+//! The software-survey framing this reproduces (Fountoulakis, Gleich,
+//! Mahoney 2018) is a *service*: many users issue local-cluster queries
+//! against a handful of resident graphs, and the system's job is to keep
+//! per-query latency low without dedicating a machine (or a worker
+//! fleet) to each graph. [`Service`] is that shape in one type:
+//!
+//! * graphs are **registered by name** at build time (or hot-added
+//!   later), each getting its own workspace checkout pool and
+//!   [`GraphCache`] of seed-independent state;
+//! * all of them share **one** thread [`Pool`] (an `Arc`, so the service
+//!   can also share it with anything else in the process);
+//! * queries run through `&self` handles — any number of OS threads can
+//!   call [`Service::engine`] and [`EngineHandle::run`] concurrently,
+//!   with scratch checked out per query and contention confined to a
+//!   freelist pop/push.
+//!
+//! ```
+//! use lgc_core::{Algorithm, PrNibbleParams, Query, Seed, Service};
+//! use lgc_parallel::Pool;
+//!
+//! let service = Service::builder()
+//!     .pool(Pool::shared(2))
+//!     .add_graph("cliques", lgc_graph::gen::two_cliques_bridge(10))
+//!     .add_graph("cycle", lgc_graph::gen::cycle(32))
+//!     .build();
+//!
+//! let engine = service.engine("cliques").unwrap();
+//! let res = engine.run(&Query::new(
+//!     Seed::single(0),
+//!     Algorithm::PrNibble(PrNibbleParams::default()),
+//! ));
+//! assert_eq!(res.cluster.len(), 10);
+//! ```
+//!
+//! The determinism contract survives the sharing: a query answered
+//! through a warm, concurrently-hammered service is bit-identical to the
+//! same query on a cold single-thread [`Engine`](crate::Engine)
+//! (`tests/service_properties.rs` enforces exactly that from multiple OS
+//! threads).
+
+use crate::cache::{GraphCache, GraphSummary};
+use crate::engine::{EngineCore, EngineHandle, PoolRef};
+use lgc_graph::Graph;
+use lgc_ligra::DirectionParams;
+use lgc_parallel::Pool;
+use std::sync::Arc;
+
+/// One registered graph: the graph itself plus its engine state
+/// (workspace checkout pool + cache) over the service's shared pool.
+struct GraphEntry {
+    name: String,
+    graph: Arc<Graph>,
+    core: EngineCore,
+}
+
+/// A shared-runtime, concurrent-query front door over any number of
+/// named graphs — see the module docs. Build with [`Service::builder`].
+///
+/// `Service` is `Send + Sync`; wrap it in an `Arc` (or borrow it from a
+/// scope) and query away from every thread you have.
+pub struct Service {
+    pool: Arc<Pool>,
+    dir: Option<DirectionParams>,
+    graphs: Vec<GraphEntry>,
+}
+
+impl Service {
+    /// Starts building a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder {
+            pool: None,
+            threads: None,
+            dir: None,
+            graphs: Vec::new(),
+        }
+    }
+
+    /// A query handle for the graph registered as `name`, or `None` if
+    /// no such graph. The handle is `Copy` and `&self`-querying: grab
+    /// one per request, or keep one around — both are fine.
+    pub fn engine(&self, name: &str) -> Option<EngineHandle<'_>> {
+        self.entry(name).map(|e| e.core.handle(&e.graph))
+    }
+
+    /// The registered graph named `name`.
+    pub fn graph(&self, name: &str) -> Option<&Arc<Graph>> {
+        self.entry(name).map(|e| &e.graph)
+    }
+
+    /// The seed-independent cache of the graph named `name` —
+    /// observability (ψ hit rates) and warm introspection.
+    pub fn cache(&self, name: &str) -> Option<&Arc<GraphCache>> {
+        self.entry(name).map(|e| e.core.cache())
+    }
+
+    /// Summary statistics of the graph named `name`, served from its
+    /// cache (computed on first request, then free).
+    pub fn summary(&self, name: &str) -> Option<GraphSummary> {
+        self.entry(name).map(|e| e.core.cache().summary(&e.graph))
+    }
+
+    /// Registered graph names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.graphs.iter().map(|e| e.name.as_str())
+    }
+
+    /// Number of registered graphs.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// The shared thread pool every registered graph queries through.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Registers (or hot-swaps) a graph after build. Replacing a name
+    /// drops the old graph's engine state — its workspace pool and cache
+    /// belong to the graph they were built for.
+    pub fn add_graph(&mut self, name: impl Into<String>, graph: Graph) {
+        self.add_graph_shared(name, Arc::new(graph));
+    }
+
+    /// [`Service::add_graph`] for graphs the caller also keeps (the
+    /// service holds graphs behind `Arc`).
+    pub fn add_graph_shared(&mut self, name: impl Into<String>, graph: Arc<Graph>) {
+        let name = name.into();
+        let core = EngineCore::new(PoolRef::Shared(Arc::clone(&self.pool)), self.dir);
+        let entry = GraphEntry { name, graph, core };
+        match self.graphs.iter_mut().find(|e| e.name == entry.name) {
+            Some(slot) => *slot = entry,
+            None => self.graphs.push(entry),
+        }
+    }
+
+    /// Unregisters a graph; returns it if it was registered.
+    pub fn remove_graph(&mut self, name: &str) -> Option<Arc<Graph>> {
+        let i = self.graphs.iter().position(|e| e.name == name)?;
+        Some(self.graphs.remove(i).graph)
+    }
+
+    fn entry(&self, name: &str) -> Option<&GraphEntry> {
+        self.graphs.iter().find(|e| e.name == name)
+    }
+}
+
+/// Builds a [`Service`]; obtained from [`Service::builder`].
+pub struct ServiceBuilder {
+    pool: Option<Arc<Pool>>,
+    threads: Option<usize>,
+    dir: Option<DirectionParams>,
+    graphs: Vec<(String, Arc<Graph>)>,
+}
+
+impl ServiceBuilder {
+    /// Adopts a shared pool (e.g. [`Pool::shared`]) — the usual way, so
+    /// the service and the rest of the process agree on one worker set.
+    pub fn pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Spawns a fresh pool of exactly `threads` threads at build time
+    /// (ignored if [`Self::pool`] was given). Default: machine-sized.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Service-wide direction-optimization override, applied to every
+    /// query on every graph (same semantics as
+    /// [`EngineBuilder::direction`](crate::EngineBuilder::direction)).
+    pub fn direction(mut self, dir: DirectionParams) -> Self {
+        self.dir = Some(dir);
+        self
+    }
+
+    /// Registers a graph under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered (two tenants silently sharing a
+    /// name is a deployment bug; post-build [`Service::add_graph`] is
+    /// the intentional-replacement path).
+    pub fn add_graph(self, name: impl Into<String>, graph: Graph) -> Self {
+        self.add_graph_shared(name, Arc::new(graph))
+    }
+
+    /// [`Self::add_graph`] for graphs the caller also keeps.
+    ///
+    /// # Panics
+    /// If `name` is already registered.
+    pub fn add_graph_shared(mut self, name: impl Into<String>, graph: Arc<Graph>) -> Self {
+        let name = name.into();
+        assert!(
+            !self.graphs.iter().any(|(n, _)| *n == name),
+            "graph {name:?} registered twice"
+        );
+        self.graphs.push((name, graph));
+        self
+    }
+
+    /// Builds the service (spawning the pool's workers if none was
+    /// adopted).
+    pub fn build(self) -> Service {
+        let pool = self.pool.unwrap_or_else(|| {
+            Arc::new(match self.threads {
+                Some(t) => Pool::new(t),
+                None => Pool::with_default_threads(),
+            })
+        });
+        let mut svc = Service {
+            pool,
+            dir: self.dir,
+            graphs: Vec::new(),
+        };
+        for (name, graph) in self.graphs {
+            svc.add_graph_shared(name, graph);
+        }
+        svc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_cluster, Algorithm, PrNibbleParams, Query, Seed};
+    use lgc_graph::gen;
+
+    fn two_graph_service(threads: usize) -> Service {
+        Service::builder()
+            .pool(Pool::shared(threads))
+            .add_graph("cliques", gen::two_cliques_bridge(10))
+            .add_graph("local", gen::rand_local(200, 5, 3))
+            .build()
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Service>();
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let svc = two_graph_service(1);
+        assert_eq!(svc.num_graphs(), 2);
+        assert_eq!(svc.names().collect::<Vec<_>>(), vec!["cliques", "local"]);
+        assert!(svc.engine("cliques").is_some());
+        assert!(svc.engine("absent").is_none());
+        assert_eq!(svc.graph("cliques").unwrap().num_vertices(), 20);
+        let s = svc.summary("local").unwrap();
+        assert_eq!(s.num_vertices, 200);
+        assert!(svc.summary("absent").is_none());
+    }
+
+    #[test]
+    fn queries_match_cold_engine_runs() {
+        let svc = two_graph_service(2);
+        let q = Query::new(
+            Seed::single(1),
+            Algorithm::PrNibble(PrNibbleParams::default()),
+        );
+        for name in ["cliques", "local"] {
+            let engine = svc.engine(name).unwrap();
+            assert_eq!(engine.num_threads(), 2);
+            let got = engine.run(&q);
+            let pool = Pool::new(2);
+            let want = find_cluster(&pool, svc.graph(name).unwrap(), &q.seed, &q.algo);
+            assert_eq!(got.cluster, want.cluster, "{name}");
+            assert_eq!(got.conductance, want.conductance);
+        }
+    }
+
+    #[test]
+    fn all_graphs_share_the_one_pool() {
+        let pool = Pool::shared(3);
+        let svc = Service::builder()
+            .pool(Arc::clone(&pool))
+            .add_graph("a", gen::cycle(12))
+            .add_graph("b", gen::cycle(16))
+            .build();
+        assert!(Arc::ptr_eq(svc.pool(), &pool));
+        for name in ["a", "b"] {
+            assert!(std::ptr::eq(
+                svc.engine(name).unwrap().pool(),
+                pool.as_ref()
+            ));
+        }
+    }
+
+    #[test]
+    fn hot_add_replace_and_remove() {
+        let mut svc = two_graph_service(1);
+        svc.add_graph("extra", gen::star(6));
+        assert_eq!(svc.num_graphs(), 3);
+        assert_eq!(svc.graph("extra").unwrap().num_vertices(), 6);
+        // Replacing a name swaps the graph and resets its engine state.
+        svc.add_graph("extra", gen::star(9));
+        assert_eq!(svc.num_graphs(), 3);
+        assert_eq!(svc.graph("extra").unwrap().num_vertices(), 9);
+        let removed = svc.remove_graph("extra").unwrap();
+        assert_eq!(removed.num_vertices(), 9);
+        assert_eq!(svc.num_graphs(), 2);
+        assert!(svc.remove_graph("extra").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn builder_rejects_duplicate_names() {
+        let _ = Service::builder()
+            .add_graph("dup", gen::cycle(4))
+            .add_graph("dup", gen::cycle(5));
+    }
+
+    #[test]
+    fn direction_override_reaches_every_graph() {
+        let svc = Service::builder()
+            .pool(Pool::shared(1))
+            .direction(lgc_ligra::DirectionParams::pull_only())
+            .add_graph("g", gen::two_cliques_bridge(8))
+            .build();
+        let res = svc.engine("g").unwrap().run(&Query::new(
+            Seed::single(1),
+            Algorithm::PrNibble(PrNibbleParams::default()),
+        ));
+        let mut cluster = res.cluster;
+        cluster.sort_unstable();
+        assert_eq!(cluster, (0..8).collect::<Vec<u32>>());
+    }
+}

@@ -17,6 +17,7 @@
 //! `O(N log N + vol(S_N))` work and polylogarithmic depth w.h.p.
 
 use super::{eligible_entries, prefix_conductance, sweep_order_cmp, SweepCut};
+use crate::engine::Workspace;
 use lgc_graph::Graph;
 use lgc_parallel::{
     counting_sort_by_key, filter_map_index, map_index, max_by, merge_sort_by, scan_exclusive,
@@ -30,19 +31,22 @@ use lgc_sparse::ConcurrentRankMap;
 /// deterministic sort order, integer crossing-edge counts, and float
 /// conductances computed from identical operands.
 pub fn sweep_cut_par(pool: &Pool, g: &Graph, p: &[(u32, f64)]) -> SweepCut {
-    sweep_cut_par_ws(pool, g, p, &mut None)
+    sweep_cut_par_ws(pool, g, p, &mut Workspace::new())
 }
 
-/// [`sweep_cut_par`] with a recyclable rank table (the engine's sweep
-/// scratch): `rank_slot` is taken, reset, and put back, so repeated
-/// sweeps against one graph stop re-allocating the hash table. Rank
-/// lookups are keyed, never enumerated, so a kept-larger table cannot
-/// change any output bit.
+/// [`sweep_cut_par`] over the engine's [`Workspace`]: the rank table is
+/// taken, reset, and put back, so repeated sweeps against one graph stop
+/// re-allocating the hash table; a cache-wired workspace additionally
+/// serves degree lookups from the shared degree vector and pre-sizes
+/// fresh rank tables to the stream's observed support high-watermark.
+/// All of it is bit-invisible: rank lookups are keyed, never enumerated
+/// (a kept-larger or pre-sized table cannot change any output bit), and
+/// cached degrees are the same integers as the CSR offsets.
 pub(crate) fn sweep_cut_par_ws(
     pool: &Pool,
     g: &Graph,
     p: &[(u32, f64)],
-    rank_slot: &mut Option<ConcurrentRankMap>,
+    ws: &mut Workspace,
 ) -> SweepCut {
     let mut scored = eligible_entries(g, p);
     if scored.is_empty() {
@@ -51,15 +55,17 @@ pub(crate) fn sweep_cut_par_ws(
     merge_sort_by(pool, &mut scored, sweep_order_cmp);
     let n = scored.len();
     let order: Vec<u32> = scored.iter().map(|&(v, _)| v).collect();
+    let cached_degs = ws.cached_degrees(g);
+    ws.note_sweep_support(n);
 
     // rank[v] = 1-based position of v in the sweep order; vertices outside
     // the support implicitly get rank N+1.
-    let rank = match rank_slot.take() {
+    let rank = match ws.sweep_rank.take() {
         Some(mut m) => {
             m.reset(pool, n);
             m
         }
-        None => ConcurrentRankMap::with_capacity(n),
+        None => ConcurrentRankMap::with_capacity(n.max(ws.sweep_hint())),
     };
     {
         let order_ref = &order;
@@ -73,8 +79,12 @@ pub(crate) fn sweep_cut_par_ws(
     let outside_rank = (n + 1) as u32;
 
     // Degrees in rank order; exclusive prefix sum gives each vertex's
-    // slot range in the flattened edge space.
-    let degs: Vec<u64> = map_index(pool, n, |i| g.degree(order[i]) as u64);
+    // slot range in the flattened edge space. The cached degree vector
+    // (one load) and the CSR offsets (two loads) hold the same integers.
+    let degs: Vec<u64> = match &cached_degs {
+        Some(d) => map_index(pool, n, |i| d[order[i] as usize] as u64),
+        None => map_index(pool, n, |i| g.degree(order[i]) as u64),
+    };
     let (edge_offsets, total_vol) = scan_exclusive(pool, &degs, 0u64, |a, b| a + b);
     let total_vol = total_vol as usize;
 
@@ -153,7 +163,7 @@ pub(crate) fn sweep_cut_par_ws(
     })
     .expect("n >= 1");
 
-    *rank_slot = Some(rank);
+    ws.sweep_rank = Some(rank);
     SweepCut {
         order,
         conductances,

@@ -479,6 +479,38 @@ pub fn edge_map_dense_gather(
     });
 }
 
+/// Pull with fused per-destination *counting*: for every vertex `dst`
+/// whose in-neighborhood intersects the frontier, computes the exact
+/// integer `|N(dst) ∩ F|` and calls `apply(dst, count)` exactly once.
+///
+/// The dense twin of a push `edgeMap` that does `count[dst] += 1` per
+/// edge — same totals (integers, so bit-equal regardless of direction or
+/// thread count), no atomics. This is what lets set processes whose step
+/// rule depends on neighbor counts (the evolving-set process's
+/// `p(v, S) = ½·1[v ∈ S] + ½·|N(v) ∩ S|/d(v)`) direction-optimize
+/// without perturbing their random trajectory. Same single-writer
+/// guarantee as [`edge_map_dense`].
+pub fn edge_map_dense_count(
+    pool: &Pool,
+    g: &Graph,
+    frontier: &Bitset,
+    apply: impl Fn(u32, u64) + Sync,
+) {
+    let n = g.num_vertices();
+    debug_assert_eq!(frontier.universe(), n, "bitset universe must be n");
+    pool.run(n, DENSE_GRAIN, |s, e| {
+        for dst in s as u32..e as u32 {
+            let mut count = 0u64;
+            for &src in g.neighbors(dst) {
+                count += u64::from(frontier.contains(src));
+            }
+            if count > 0 {
+                apply(dst, count);
+            }
+        }
+    });
+}
+
 /// The direction-optimizing `edgeMap` (§2): picks push or pull per
 /// [`DirectionParams`] and runs `f(src, dst)` over the frontier's edges
 /// with the chosen engine. Returns the direction it took.
@@ -801,6 +833,39 @@ mod tests {
                 .map(|&s| contrib[s as usize])
                 .sum();
             assert_eq!(t1[dst as usize], want, "dst={dst}");
+        }
+    }
+
+    /// The counting pull computes exactly `|N(dst) ∩ F|` — equal to a
+    /// push edgeMap incrementing per edge — at any thread count.
+    #[test]
+    fn dense_count_matches_push_counting() {
+        let graphs = [gen::rmat_graph500(9, 8, 3), gen::rand_local(500, 5, 2)];
+        for g in &graphs {
+            let n = g.num_vertices();
+            let ids: Vec<u32> = (0..n as u32).filter(|v| v % 3 == 1).collect();
+            let subset = VertexSubset::from_sorted(ids.clone());
+            let want: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            edge_map(&Pool::new(1), g, &subset, |_, dst| {
+                want[dst as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            for threads in [1, 2, 4] {
+                let pool = Pool::new(threads);
+                let bits = Bitset::new(n);
+                bits.set_sorted(&pool, &ids);
+                let got: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                edge_map_dense_count(&pool, g, &bits, |dst, c| {
+                    assert!(c > 0, "only intersecting destinations reported");
+                    got[dst as usize].store(c, Ordering::Relaxed);
+                });
+                for v in 0..n {
+                    assert_eq!(
+                        got[v].load(Ordering::Relaxed),
+                        want[v].load(Ordering::Relaxed),
+                        "dst={v} t={threads}"
+                    );
+                }
+            }
         }
     }
 

@@ -157,6 +157,20 @@ impl Pool {
         Self::new(hardware_threads())
     }
 
+    /// A reference-counted pool of `threads` threads, for runtimes where
+    /// many owners share one set of workers (a query service hosting
+    /// several graphs, independent engines on one machine).
+    ///
+    /// Sharing is safe by construction: `Pool` is `Send + Sync`, and
+    /// concurrent [`Pool::run`] calls from different OS threads are
+    /// serialized on an internal lock — each loop runs with the full
+    /// worker set, callers queue for the pool rather than oversubscribing
+    /// the machine with per-caller worker fleets (see
+    /// `run_from_multiple_caller_threads_is_serialized`).
+    pub fn shared(threads: usize) -> Arc<Self> {
+        Arc::new(Self::new(threads))
+    }
+
     /// A pool of at most `threads` threads, clamped to the machine's
     /// available parallelism — for callers that take a requested thread
     /// count from configuration or CLI input, where workers beyond the
@@ -274,6 +288,13 @@ impl Pool {
         });
     }
 }
+
+// What `Pool::shared` advertises: the pool may be owned and queried from
+// any thread. (`Job`/`Slot` carry the unsafe impls this rests on.)
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pool>();
+};
 
 impl Drop for Pool {
     fn drop(&mut self) {

@@ -27,7 +27,7 @@ fn main() {
         block_sizes.len()
     );
 
-    let mut engine = Engine::builder(&g).build();
+    let engine = Engine::builder(&g).build();
     let seed_vertex = 70u32; // inside block 1
     let truth: HashSet<u32> = (0..g.num_vertices() as u32)
         .filter(|&v| labels[v as usize] == labels[seed_vertex as usize])

@@ -28,7 +28,7 @@ fn main() {
         g.num_edges()
     );
 
-    let mut engine = Engine::builder(&g).build();
+    let engine = Engine::builder(&g).build();
     let seed = Seed::single(seed_vertex);
     println!("engine: {} threads", engine.num_threads());
     println!();

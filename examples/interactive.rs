@@ -4,41 +4,60 @@
 //! low, it is important that a single local computation be made
 //! efficient."
 //!
-//! This is exactly the workload the [`Engine`] exists for: one handle
-//! built at startup (pool + graph + workspace), every command served as
-//! a query over it, scratch buffers recycled from command to command.
+//! This is exactly the workload the [`Service`] exists for: several
+//! resident graphs registered at startup over one shared pool, every
+//! command served as a `&self` query through a per-graph handle, scratch
+//! buffers checked out warm from command to command, ψ tables and graph
+//! statistics cached across them.
 //!
-//! A tiny command-driven explorer over a generated graph. Reads commands
-//! from stdin (one per line) and answers instantly using the parallel
-//! algorithms:
+//! A tiny command-driven explorer over two generated graphs. Reads
+//! commands from stdin (one per line) and answers instantly using the
+//! parallel algorithms:
 //!
 //! ```text
+//! graphs                         list the registered graphs
+//! use <graph>                    switch the active graph
 //! cluster <seed> [alpha] [eps]   PR-Nibble + sweep from <seed>
 //! nibble <seed> [T] [eps]        Nibble + sweep from <seed>
 //! hk <seed> [t] [N] [eps]        HK-PR + sweep from <seed>
 //! esp <seed> [steps]             evolving-set process from <seed>
 //! degree <v>                     degree of v
-//! stats                          graph statistics
+//! stats                          graph statistics (cache-served)
 //! quit
 //! ```
 //!
 //! ```sh
-//! printf 'stats\ncluster 42\nquit\n' | cargo run --release --example interactive
+//! printf 'stats\ncluster 42\nuse rmat\ncluster 7\nquit\n' | \
+//!     cargo run --release --example interactive
 //! ```
 
 use plgc::cluster as lgc;
-use plgc::{Algorithm, Engine, Query, Seed};
+use plgc::{Algorithm, Pool, Query, Seed, Service};
 use std::io::BufRead;
 use std::time::Instant;
 
 fn main() {
-    let (g, _labels) = plgc::graph::gen::sbm(&[80; 12], 0.2, 0.002, 11);
-    let mut engine = Engine::builder(&g).build();
+    let (sbm, _labels) = plgc::graph::gen::sbm(&[80; 12], 0.2, 0.002, 11);
+    let service = Service::builder()
+        .pool(Pool::shared(
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ))
+        .add_graph("sbm", sbm)
+        .add_graph("rmat", plgc::graph::gen::rmat_graph500(11, 8, 5))
+        .build();
+    let mut active = "sbm".to_string();
     println!(
-        "loaded SBM graph: {} vertices, {} edges ({} threads). Type 'help'.",
-        g.num_vertices(),
-        g.num_edges(),
-        engine.num_threads()
+        "serving {} graphs over one {}-thread pool: {}. Type 'help'.",
+        service.num_graphs(),
+        service.pool().num_threads(),
+        service
+            .names()
+            .map(|n| {
+                let s = service.summary(n).unwrap();
+                format!("{n} ({}v/{}e)", s.num_vertices, s.num_edges)
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     let stdin = std::io::stdin();
@@ -49,31 +68,51 @@ fn main() {
         };
         let parts: Vec<&str> = line.split_whitespace().collect();
         let t0 = Instant::now();
+        let engine = service.engine(&active).expect("active graph registered");
+        let g = engine.graph();
         // Parsed command → one engine query (None for non-query commands).
         let query: Option<Query> = match parts.as_slice() {
             [] => continue,
             ["quit"] | ["exit"] => break,
             ["help"] => {
-                println!("commands: cluster <seed> [alpha] [eps] | nibble <seed> [T] [eps] | hk <seed> [t] [N] [eps] | esp <seed> [steps] | degree <v> | stats | quit");
+                println!("commands: graphs | use <graph> | cluster <seed> [alpha] [eps] | nibble <seed> [T] [eps] | hk <seed> [t] [N] [eps] | esp <seed> [steps] | degree <v> | stats | quit");
+                None
+            }
+            ["graphs"] => {
+                for name in service.names() {
+                    let marker = if name == active { "*" } else { " " };
+                    println!("{marker} {name}");
+                }
+                None
+            }
+            ["use", name] => {
+                if service.engine(name).is_some() {
+                    active = name.to_string();
+                    println!("now querying '{active}'");
+                } else {
+                    println!(
+                        "unknown graph (have: {})",
+                        service.names().collect::<Vec<_>>().join(", ")
+                    );
+                }
                 None
             }
             ["stats"] => {
+                let s = service.summary(&active).expect("active graph registered");
                 println!(
-                    "n = {}, m = {}, max degree = {}",
-                    g.num_vertices(),
-                    g.num_edges(),
-                    g.max_degree()
+                    "{active}: n = {}, m = {}, max degree = {}, isolated = {}",
+                    s.num_vertices, s.num_edges, s.max_degree, s.isolated
                 );
                 None
             }
             ["degree", v] => {
-                match parse_vertex(v, &g) {
+                match parse_vertex(v, g) {
                     Some(v) => println!("d({v}) = {}", g.degree(v)),
                     None => println!("vertex out of range"),
                 }
                 None
             }
-            ["cluster", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+            ["cluster", s, rest @ ..] => vertex_or_complain(s, g).map(|v| {
                 let alpha = rest.first().and_then(|x| x.parse().ok()).unwrap_or(0.05);
                 let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
                 Query::new(
@@ -85,7 +124,7 @@ fn main() {
                     }),
                 )
             }),
-            ["nibble", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+            ["nibble", s, rest @ ..] => vertex_or_complain(s, g).map(|v| {
                 let t_max = rest.first().and_then(|x| x.parse().ok()).unwrap_or(20);
                 let eps = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(1e-7);
                 Query::new(
@@ -97,7 +136,7 @@ fn main() {
                     }),
                 )
             }),
-            ["hk", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+            ["hk", s, rest @ ..] => vertex_or_complain(s, g).map(|v| {
                 let t = rest.first().and_then(|x| x.parse().ok()).unwrap_or(10.0);
                 let n_levels = rest.get(1).and_then(|x| x.parse().ok()).unwrap_or(20);
                 let eps = rest.get(2).and_then(|x| x.parse().ok()).unwrap_or(1e-6);
@@ -111,7 +150,7 @@ fn main() {
                     }),
                 )
             }),
-            ["esp", s, rest @ ..] => vertex_or_complain(s, &g).map(|v| {
+            ["esp", s, rest @ ..] => vertex_or_complain(s, g).map(|v| {
                 let max_steps = rest.first().and_then(|x| x.parse().ok()).unwrap_or(50);
                 Query::new(
                     Seed::single(v),

@@ -24,7 +24,7 @@ fn main() {
     // An NCP scan is hundreds of back-to-back PR-Nibble + sweep queries
     // over one graph — the engine's workspace recycles every scratch
     // buffer between them instead of reallocating per grid point.
-    let mut engine = Engine::builder(&g).build();
+    let engine = Engine::builder(&g).build();
     let params = NcpParams {
         num_seeds: 60,
         alphas: vec![0.1, 0.01],

@@ -23,7 +23,7 @@ fn main() {
     );
 
     // Build the engine once; query it as many times as you like.
-    let mut engine = Engine::builder(&g).build();
+    let engine = Engine::builder(&g).build();
     println!("engine: {} threads", engine.num_threads());
 
     let seed = Seed::single(3); // any vertex of the left clique

@@ -1,0 +1,148 @@
+//! A multi-tenant query server simulation — the workload the [`Service`]
+//! was designed for: several resident graphs, one shared thread pool,
+//! many concurrent clients issuing mixed-algorithm local-cluster
+//! queries.
+//!
+//! Three tenants register their graphs (a social-network stand-in, a
+//! planted-community SBM, a mesh-like local graph); a fleet of client
+//! threads then drains a deterministic stream of queries — each client
+//! grabbing a `Copy` engine handle per request and calling `&self`
+//! methods, no mutex around any engine, no per-graph worker fleet. At
+//! the end the server prints per-tenant traffic, latency percentiles,
+//! and cache/workspace observability counters.
+//!
+//! ```sh
+//! cargo run --release --example server
+//! ```
+
+use plgc::cluster as lgc;
+use plgc::{Algorithm, Pool, Query, Seed, Service};
+use std::time::Instant;
+
+/// Queries per client thread.
+const QUERIES_PER_CLIENT: usize = 40;
+/// Client threads (OS threads issuing queries concurrently).
+const CLIENTS: usize = 4;
+
+/// The deterministic "request log": client `c`'s `i`-th request.
+fn request(tenants: &[&str], c: usize, i: usize) -> (String, Query) {
+    let tenant = tenants[(c + i) % tenants.len()];
+    let v = ((c * 131 + i * 17) % 500) as u32;
+    let algo = match i % 4 {
+        0 => Algorithm::PrNibble(lgc::PrNibbleParams {
+            alpha: 0.05,
+            eps: 1e-5,
+            ..Default::default()
+        }),
+        1 => Algorithm::Hkpr(lgc::HkprParams {
+            t: 5.0,
+            n_levels: 10,
+            eps: 1e-5,
+            ..Default::default()
+        }),
+        2 => Algorithm::Nibble(lgc::NibbleParams {
+            t_max: 10,
+            eps: 1e-6,
+            ..Default::default()
+        }),
+        _ => Algorithm::RandHkpr(lgc::RandHkprParams {
+            walks: 3_000,
+            rng_seed: (c * 1000 + i) as u64,
+            ..Default::default()
+        }),
+    };
+    (tenant.to_string(), Query::new(Seed::single(v), algo))
+}
+
+fn main() {
+    // One pool for the whole process, machine-sized.
+    let pool = Pool::shared(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let (sbm, _) = plgc::graph::gen::sbm(&[100; 8], 0.15, 0.002, 3);
+    let service = Service::builder()
+        .pool(pool)
+        .add_graph("social", plgc::graph::gen::rmat_graph500(12, 8, 7))
+        .add_graph("communities", sbm)
+        .add_graph("mesh", plgc::graph::gen::rand_local(4_000, 6, 1))
+        .build();
+    let tenants: Vec<&str> = service.names().collect();
+    println!("tenants:");
+    for name in &tenants {
+        let s = service.summary(name).unwrap();
+        println!(
+            "  {name:<12} {:>6} vertices {:>8} edges (max degree {})",
+            s.num_vertices, s.num_edges, s.max_degree
+        );
+    }
+    println!(
+        "pool: {} threads shared by all tenants; {CLIENTS} clients × {QUERIES_PER_CLIENT} queries\n",
+        service.pool().num_threads()
+    );
+
+    // The client fleet: each thread drains its slice of the request log,
+    // timing every query.
+    let t0 = Instant::now();
+    let per_client: Vec<Vec<(String, f64, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = &service;
+                let tenants = &tenants;
+                scope.spawn(move || {
+                    let mut log = Vec::with_capacity(QUERIES_PER_CLIENT);
+                    for i in 0..QUERIES_PER_CLIENT {
+                        let (tenant, query) = request(tenants, c, i);
+                        let engine = service.engine(&tenant).expect("tenant registered");
+                        let q0 = Instant::now();
+                        let res = engine.run(&query);
+                        log.push((tenant, q0.elapsed().as_secs_f64(), res.cluster.len()));
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Per-tenant traffic report.
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "tenant", "queries", "mean ms", "p95 ms", "max ms"
+    );
+    for name in &tenants {
+        let mut lats: Vec<f64> = per_client
+            .iter()
+            .flatten()
+            .filter(|(t, _, _)| t == name)
+            .map(|&(_, l, _)| l)
+            .collect();
+        lats.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
+        let p95 = lats[(lats.len() * 95 / 100).min(lats.len().saturating_sub(1))];
+        let max = lats.last().copied().unwrap_or(0.0);
+        println!(
+            "{name:<12} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+            lats.len(),
+            mean * 1e3,
+            p95 * 1e3,
+            max * 1e3
+        );
+    }
+    let total = CLIENTS * QUERIES_PER_CLIENT;
+    println!(
+        "\n{total} queries in {:.2}s — {:.0} queries/s across {} graphs on one pool",
+        wall,
+        total as f64 / wall,
+        service.num_graphs()
+    );
+
+    // Observability: what the shared runtime amortized.
+    println!("\ncache / workspace state after the run:");
+    for name in &tenants {
+        let cache = service.cache(name).unwrap();
+        let (hits, misses) = cache.psi_stats();
+        println!(
+            "  {name:<12} psi tables: {hits} hits / {misses} misses; sweep support high-watermark: {}",
+            cache.sweep_hint()
+        );
+    }
+}

@@ -5,20 +5,29 @@
 //! query-serving system. The paper's five local diffusions — Nibble,
 //! PR-Nibble, deterministic and randomized heat-kernel PageRank, and the
 //! evolving-set process — are one family over the same frontier
-//! framework, and the [`Engine`] serves them all through one handle.
+//! framework, and one process serves them all, against any number of
+//! resident graphs, from any number of threads.
 //!
-//! # Quickstart
+//! # Quickstart: the [`Service`]
 //!
-//! Build an [`Engine`] once per graph, then hit it with queries; scratch
-//! state (mass arenas, frontier bitsets, sweep tables) is recycled from
-//! query to query instead of reallocated:
+//! Register your graphs into a [`Service`] over one shared thread
+//! [`Pool`]; query through `&self` handles from as many OS threads as
+//! you like. Each graph keeps a checkout pool of warm workspaces (mass
+//! arenas, frontier bitsets, sweep tables) and a [`GraphCache`] of
+//! seed-independent state (HK-PR ψ tables, degree vector, statistics):
 //!
 //! ```
-//! use plgc::{Algorithm, Engine, PrNibbleParams, Query, Seed};
+//! use plgc::{Algorithm, PrNibbleParams, Query, Seed, Service};
+//! use plgc::Pool;
 //!
-//! let g = plgc::graph::gen::two_cliques_bridge(16);
-//! let mut engine = Engine::builder(&g).threads(2).build();
+//! let service = Service::builder()
+//!     .pool(Pool::shared(2))
+//!     .add_graph("social", plgc::graph::gen::two_cliques_bridge(16))
+//!     .add_graph("mesh", plgc::graph::gen::grid_3d(6, 6, 4))
+//!     .build();
 //!
+//! // Handles are Copy and `&self`-querying — grab one per request.
+//! let engine = service.engine("social").unwrap();
 //! let result = engine.run(&Query::new(
 //!     Seed::single(0),
 //!     Algorithm::PrNibble(PrNibbleParams::default()),
@@ -26,8 +35,32 @@
 //! assert_eq!(result.cluster.len(), 16);
 //! assert!(result.conductance < 0.01);
 //!
-//! // Same engine, different algorithm — buffers are reused.
-//! use plgc::cluster::HkprParams;
+//! // Concurrent clients just query; scratch is checked out per query.
+//! std::thread::scope(|s| {
+//!     for name in ["social", "mesh"] {
+//!         let service = &service;
+//!         s.spawn(move || {
+//!             let engine = service.engine(name).unwrap();
+//!             engine.run(&Query::new(
+//!                 Seed::single(1),
+//!                 Algorithm::PrNibble(PrNibbleParams::default()),
+//!             ))
+//!         });
+//!     }
+//! });
+//! ```
+//!
+//! # Single graph: the [`Engine`]
+//!
+//! One graph, same machinery, no registry — an [`Engine`] borrows the
+//! graph and owns (or [shares](EngineBuilder::shared_pool)) its pool.
+//! All query methods take `&self`:
+//!
+//! ```
+//! use plgc::{Algorithm, Engine, HkprParams, Query, Seed};
+//!
+//! let g = plgc::graph::gen::two_cliques_bridge(16);
+//! let engine = Engine::builder(&g).threads(2).build();
 //! let hk = engine.run(&Query::new(
 //!     Seed::single(0),
 //!     Algorithm::Hkpr(HkprParams::default()),
@@ -36,30 +69,34 @@
 //! ```
 //!
 //! Every algorithm implements the [`LocalDiffusion`] trait (seed →
-//! params → diffusion over a shared [`Workspace`]), engine results are
-//! bit-identical to the free-function pipeline, and
-//! [`Engine::run_batch`] fans any mix of queries across the pool with
-//! per-worker workspaces (deterministic, thread-count independent).
+//! params → diffusion over a shared [`Workspace`]), engine and service
+//! results are bit-identical to the free-function pipeline — warm
+//! workspace checkouts and cache hits are observationally invisible, a
+//! contract enforced from multiple OS threads by
+//! `tests/service_properties.rs` — and [`Engine::run_batch`] fans any
+//! mix of queries across the pool with per-worker workspaces that stay
+//! warm across calls (deterministic, thread-count independent).
 //!
-//! # Migrating from the free functions
+//! # Migrating from the PR 3 `Engine` and the free functions
 //!
-//! The pre-`Engine` free functions remain available as thin wrappers
-//! (each runs the identical code path over a fresh, throwaway
-//! workspace):
+//! Queries became `&self` (callers no longer need `mut` engines or a
+//! mutex around one), pools became shareable, and multi-graph hosting
+//! moved into [`Service`]:
 //!
-//! | Old call | Engine form |
+//! | Old call | Current form |
 //! |---|---|
+//! | `engine.run(&q)` with `let mut engine` | same, `mut` no longer needed (`&self`) |
+//! | one mutex-guarded engine per graph | `Service` + `svc.engine("name")?` handles |
+//! | one `Pool` spawned per engine | `Pool::shared(t)` + `.shared_pool(..)` / `Service::builder().pool(..)` |
 //! | `find_cluster(&pool, &g, &seed, &algo)` | `engine.run(&Query::new(seed, algo))` |
 //! | `prnibble_par(&pool, &g, &seed, &p)` | `engine.diffuse(&seed, &Algorithm::PrNibble(p))` |
 //! | `nibble_par` / `hkpr_par` / `rand_hkpr_par` | `engine.diffuse(&seed, &Algorithm::…(p))` |
 //! | `evolving_set_par(&pool, &g, &seed, &p)` | `engine.run(&Query::new(seed, Algorithm::Evolving(p)))` |
-//! | `batch_prnibble(&pool, &g, &queries)` | `engine.run_batch(&queries)` (any algorithm mix) |
+//! | `batch_prnibble(&pool, &g, &queries)` *(deprecated)* | `engine.run_batch(&queries)` (any algorithm mix) |
 //! | `ncp_prnibble(&pool, &g, &params)` | `engine.ncp(&params)` |
-//! | `Pool::new(t)` + free functions | `Engine::builder(&g).threads(t).build()` |
 //!
-//! `Query` changed shape with the redesign: it now carries an
-//! [`Algorithm`] (`Query { seed, algo }`) instead of PR-Nibble
-//! parameters, which is what lets one batch mix all five diffusions.
+//! The free functions remain available as thin wrappers (each runs the
+//! identical code path over a fresh, throwaway workspace).
 //!
 //! # Workspace layout
 //!
@@ -70,9 +107,9 @@
 //! * [`graph`] — CSR graphs, generators, conductance utilities, I/O.
 //! * [`ligra`] — `vertexSubset` / `vertexMap` / direction-optimizing
 //!   `edgeMap` frontier framework.
-//! * [`cluster`] — the paper's algorithms behind the [`Engine`]: Nibble,
-//!   PR-Nibble, HK-PR, rand-HK-PR, evolving sets, sweep cuts, and NCP
-//!   plots.
+//! * [`cluster`] — the paper's algorithms behind the [`Engine`] and
+//!   [`Service`]: Nibble, PR-Nibble, HK-PR, rand-HK-PR, evolving sets,
+//!   sweep cuts, and NCP plots.
 
 pub use lgc_core as cluster;
 pub use lgc_graph as graph;
@@ -80,13 +117,15 @@ pub use lgc_ligra as ligra;
 pub use lgc_parallel as parallel;
 pub use lgc_sparse as sparse;
 
+#[allow(deprecated)] // re-exported for migration; see the item's note
+pub use lgc_core::batch_prnibble;
 pub use lgc_core::{
-    batch_prnibble, evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq,
-    ncp_prnibble, nibble_par, nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq,
-    rand_hkpr_par, rand_hkpr_seq, run_batch, sweep_cut_par, sweep_cut_seq, Algorithm,
-    ClusterResult, Diffusion, Direction, DirectionMode, DirectionParams, Engine, EngineBuilder,
-    EvolvingParams, HkprParams, LocalDiffusion, NcpParams, NibbleParams, PrNibbleParams, PushRule,
-    Query, RandHkprParams, Seed, SweepCut, Workspace,
+    evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq, ncp_prnibble, nibble_par,
+    nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq, rand_hkpr_par, rand_hkpr_seq,
+    run_batch, sweep_cut_par, sweep_cut_seq, Algorithm, ClusterResult, Diffusion, Direction,
+    DirectionMode, DirectionParams, Engine, EngineBuilder, EngineHandle, EvolvingParams,
+    GraphCache, GraphSummary, HkprParams, LocalDiffusion, NcpParams, NibbleParams, PrNibbleParams,
+    PushRule, Query, RandHkprParams, Seed, Service, ServiceBuilder, SweepCut, Workspace,
 };
 pub use lgc_graph::{Graph, GraphBuilder};
 pub use lgc_parallel::Pool;

@@ -117,7 +117,7 @@ proptest! {
         specs in query_specs(),
         threads in 1usize..=4,
     ) {
-        let mut engine = Engine::builder(&g).threads(threads).build();
+        let engine = Engine::builder(&g).threads(threads).build();
         let pool = Pool::new(threads);
         for (kind, si, tweak) in specs {
             let seed = Seed::single(seeds[si % seeds.len()]);
@@ -145,7 +145,7 @@ proptest! {
         specs in query_specs(),
         threads in 1usize..=4,
     ) {
-        let mut engine = Engine::builder(&g).threads(threads).build();
+        let engine = Engine::builder(&g).threads(threads).build();
         let pool = Pool::new(threads);
         for (kind, si, tweak) in specs {
             let seed = Seed::single(seeds[si % seeds.len()]);
@@ -184,7 +184,7 @@ proptest! {
             })
             .collect();
         let batch = plgc::run_batch(&Pool::new(threads), &g, &queries);
-        let mut engine = Engine::builder(&g).threads(1).build();
+        let engine = Engine::builder(&g).threads(1).build();
         for (q, got) in queries.iter().zip(&batch) {
             let want = engine.run(q);
             prop_assert_eq!(&got.diffusion.p, &want.diffusion.p);
