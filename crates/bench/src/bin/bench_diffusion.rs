@@ -33,6 +33,12 @@
 //! suite graphs registered in one `Service` over one shared pool
 //! (`qps{t}` is the resulting throughput).
 //!
+//! The `compression` section records, per suite graph, the adjacency
+//! footprint of the byte-compressed CSR backend vs plain
+//! (`comp_bytes_ratio`) and the pull-pinned PR-Nibble wall-clock over
+//! both backends (`pull_plain{t}_s` / `pull_comp{t}_s`), isolating the
+//! per-edge decode overhead the shrink costs.
+//!
 //! The emitter keeps each result object on its own line; the `--baseline`
 //! reader relies on that line discipline instead of a JSON parser (the
 //! container has no serde).
@@ -40,6 +46,7 @@
 use lgc_bench::{suite, suite_seed, time_best_of, SuiteGraph};
 use lgc_core as lgc;
 use lgc_core::{Engine, Seed, Service};
+use lgc_graph::{CsrBackend, CsrCompressed};
 use lgc_ligra::DirectionParams;
 use lgc_parallel::Pool;
 use std::fmt::Write as _;
@@ -94,6 +101,90 @@ impl SvcRow {
         }
         s.push('}');
         s
+    }
+}
+
+/// One `compression` measurement: adjacency footprint of the
+/// byte-compressed CSR backend vs plain, plus the cost of decoding
+/// inside the traversal — the same pull-pinned high-volume PR-Nibble
+/// timed over both backends (pull is the edge-dominated mode, so
+/// `pull_comp{t}_s / pull_plain{t}_s` isolates the per-edge decode
+/// overhead the smaller footprint has to pay for).
+struct CompRow {
+    graph: String,
+    plain_adj_bytes: usize,
+    comp_adj_bytes: usize,
+    pull_plain_s: [f64; THREADS.len()],
+    pull_comp_s: [f64; THREADS.len()],
+}
+
+impl CompRow {
+    fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"graph\": \"{}\", \"plain_adj_bytes\": {}, \"comp_adj_bytes\": {}, \"comp_bytes_ratio\": {:.3}",
+            self.graph,
+            self.plain_adj_bytes,
+            self.comp_adj_bytes,
+            self.plain_adj_bytes as f64 / self.comp_adj_bytes.max(1) as f64
+        );
+        for (t, secs) in THREADS.iter().zip(self.pull_plain_s) {
+            let _ = write!(s, ", \"pull_plain{t}_s\": {secs:.6}");
+        }
+        for (t, secs) in THREADS.iter().zip(self.pull_comp_s) {
+            let _ = write!(s, ", \"pull_comp{t}_s\": {secs:.6}");
+        }
+        for ((t, comp), plain) in THREADS.iter().zip(self.pull_comp_s).zip(self.pull_plain_s) {
+            let _ = write!(s, ", \"pull_overhead{t}\": {:.3}", comp / plain);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Times the pull-pinned PR-Nibble workload over plain and compressed
+/// backends (warm engines, best-of-`reps`), and records both adjacency
+/// footprints.
+fn bench_compression(sg: &SuiteGraph, reps: usize) -> CompRow {
+    let g = &sg.graph;
+    let c = CsrCompressed::from_graph(g);
+    let seed = Seed::single(suite_seed(g));
+    let algo = lgc::Algorithm::PrNibble(lgc::PrNibbleParams {
+        alpha: 0.01,
+        eps: 1e-6,
+        ..Default::default()
+    });
+    let pin = DirectionParams::pull_only();
+    let mut pull_plain_s = [0.0; THREADS.len()];
+    let mut pull_comp_s = [0.0; THREADS.len()];
+    for (i, &t) in THREADS.iter().enumerate() {
+        let plain = Engine::builder(g).threads(t).direction(pin).build();
+        plain.diffuse(&seed, &algo); // prime the workspace
+        let (_, secs) = time_best_of(reps, || {
+            plain.diffuse(&seed, &algo);
+        });
+        pull_plain_s[i] = secs;
+        let packed = Engine::builder(&c).threads(t).direction(pin).build();
+        packed.diffuse(&seed, &algo);
+        let (_, secs) = time_best_of(reps, || {
+            packed.diffuse(&seed, &algo);
+        });
+        pull_comp_s[i] = secs;
+    }
+    eprintln!(
+        "  {:<10} {:.2}x fewer adjacency bytes; pull plain {:?}ms  comp {:?}ms",
+        "compress",
+        g.adjacency_bytes() as f64 / c.adjacency_bytes().max(1) as f64,
+        pull_plain_s.map(|s| (s * 1e4).round() / 10.0),
+        pull_comp_s.map(|s| (s * 1e4).round() / 10.0)
+    );
+    CompRow {
+        graph: sg.name.to_string(),
+        plain_adj_bytes: g.adjacency_bytes(),
+        comp_adj_bytes: c.adjacency_bytes(),
+        pull_plain_s,
+        pull_comp_s,
     }
 }
 
@@ -486,6 +577,7 @@ fn main() {
     }
     let mut rows: Vec<Row> = Vec::new();
     let mut svc_rows: Vec<SvcRow> = Vec::new();
+    let mut comp_rows: Vec<CompRow> = Vec::new();
     let mut benched: Vec<&SuiteGraph> = Vec::new();
     for sg in &graphs {
         if let Some(only) = &only {
@@ -502,6 +594,7 @@ fn main() {
         let (graph_rows, svc_row) = bench_graph(sg, &pools, reps, quick);
         rows.extend(graph_rows);
         svc_rows.push(svc_row);
+        comp_rows.push(bench_compression(sg, reps));
         benched.push(sg);
     }
     // The 2-graph shared-pool stream: the first two benched graphs, or
@@ -591,6 +684,14 @@ fn main() {
     let _ = writeln!(json, "  \"service\": [");
     let svc_lines: Vec<String> = svc_rows.iter().map(SvcRow::to_json_line).collect();
     let _ = writeln!(json, "{}", svc_lines.join(",\n"));
+    json.push_str("  ],\n");
+    // The compressed-backend trade per graph: `comp_bytes_ratio` > 1 is
+    // the adjacency shrink, `pull_overhead{t}` the edge-dominated slow-
+    // down paid for it (the acceptance bar is ≥ 2× shrink on the social
+    // graphs at ≤ 1.25× pull overhead).
+    let _ = writeln!(json, "  \"compression\": [");
+    let comp_lines: Vec<String> = comp_rows.iter().map(CompRow::to_json_line).collect();
+    let _ = writeln!(json, "{}", comp_lines.join(",\n"));
     json.push_str("  ]");
     if let Some((path, base_rows)) = &baseline {
         json.push_str(",\n");

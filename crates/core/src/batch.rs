@@ -22,7 +22,7 @@
 
 use crate::engine::{run_query, Query, Workspace, WorkspacePool};
 use crate::result::ClusterResult;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_ligra::DirectionParams;
 use lgc_parallel::{Pool, UnsafeSlice};
 
@@ -41,7 +41,7 @@ use lgc_parallel::{Pool, UnsafeSlice};
 /// instead, so a stream of small batches reuses warm workspaces *across*
 /// calls (the `service` section of `bench_diffusion` measures the
 /// difference).
-pub fn run_batch(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult> {
+pub fn run_batch<B: CsrBackend>(pool: &Pool, g: &B, queries: &[Query]) -> Vec<ClusterResult> {
     run_batch_shared(pool, g, queries, None, None)
 }
 
@@ -49,9 +49,9 @@ pub fn run_batch(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult
 /// applied to every query, and an optional [`WorkspacePool`] worker
 /// chunks check their workspaces out of (warm across calls) instead of
 /// cold-starting one each.
-pub(crate) fn run_batch_shared(
+pub(crate) fn run_batch_shared<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     queries: &[Query],
     dir: Option<DirectionParams>,
     workspaces: Option<&WorkspacePool>,
@@ -94,13 +94,6 @@ pub(crate) fn run_batch_shared(
     out.into_iter()
         .map(|r| r.expect("every query executed"))
         .collect()
-}
-
-/// Legacy name for [`run_batch`] from when batch execution was
-/// PR-Nibble-only; it now accepts any mix of algorithms.
-#[deprecated(note = "use Engine::run_batch / Service (or the free run_batch)")]
-pub fn batch_prnibble(pool: &Pool, g: &Graph, queries: &[Query]) -> Vec<ClusterResult> {
-    run_batch(pool, g, queries)
 }
 
 #[cfg(test)]
@@ -183,20 +176,6 @@ mod tests {
                 assert_eq!(a.diffusion.p, b.diffusion.p);
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_name_still_works() {
-        let g = gen::cycle(40);
-        let qs = vec![Query::new(
-            Seed::single(3),
-            Algorithm::PrNibble(PrNibbleParams::default()),
-        )];
-        let a = batch_prnibble(&Pool::new(2), &g, &qs);
-        let b = run_batch(&Pool::new(2), &g, &qs);
-        assert_eq!(a[0].cluster, b[0].cluster);
-        assert_eq!(a[0].conductance, b[0].conductance);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! cannot perturb the determinism contract — enforced by the ψ-cache
 //! equivalence proptest in `tests/service_properties.rs`.
 
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -44,6 +44,12 @@ pub struct GraphSummary {
     pub max_degree: usize,
     /// Number of isolated (degree-0) vertices.
     pub isolated: usize,
+    /// Total resident bytes of the graph structure (offsets + adjacency).
+    pub memory_bytes: usize,
+    /// Resident bytes of the adjacency payload alone — what the
+    /// byte-compressed backend shrinks; `memory_bytes - adjacency_bytes`
+    /// is the (backend-independent) offset array.
+    pub adjacency_bytes: usize,
 }
 
 /// ψ cache key: the exact bit pattern of `t` plus the truncation degree.
@@ -113,7 +119,9 @@ impl GraphCache {
     }
 
     /// The vertex-indexed degree vector of `g`, built on first request.
-    pub fn degrees(&self, g: &Graph) -> Arc<Vec<u32>> {
+    /// For the byte-compressed backend this doubles as the decode-free
+    /// degree lookup table (degrees live in the offsets either way).
+    pub fn degrees<B: CsrBackend>(&self, g: &B) -> Arc<Vec<u32>> {
         let degs = self.degrees.get_or_init(|| {
             Arc::new(
                 (0..g.num_vertices() as u32)
@@ -127,7 +135,7 @@ impl GraphCache {
 
     /// Summary statistics of `g`, computed once (one pass over the
     /// cached degree vector).
-    pub fn summary(&self, g: &Graph) -> GraphSummary {
+    pub fn summary<B: CsrBackend>(&self, g: &B) -> GraphSummary {
         *self.summary.get_or_init(|| {
             let degs = self.degrees(g);
             GraphSummary {
@@ -136,6 +144,8 @@ impl GraphCache {
                 total_degree: g.total_degree(),
                 max_degree: degs.iter().copied().max().unwrap_or(0) as usize,
                 isolated: degs.iter().filter(|&&d| d == 0).count(),
+                memory_bytes: g.memory_bytes(),
+                adjacency_bytes: g.adjacency_bytes(),
             }
         })
     }

@@ -57,7 +57,7 @@ use crate::result::{ClusterResult, Diffusion};
 use crate::seed::Seed;
 use crate::sweep::sweep_cut_par_ws;
 use crate::{Algorithm, EvolvingParams, HkprParams, NibbleParams, PrNibbleParams, RandHkprParams};
-use lgc_graph::Graph;
+use lgc_graph::{CsrBackend, Graph};
 use lgc_ligra::{DirectionParams, Frontier, VertexSubset};
 use lgc_parallel::{Bitset, Pool};
 use lgc_sparse::{ConcurrentRankMap, ConcurrentSparseVec, MassMap};
@@ -101,6 +101,10 @@ pub struct Workspace {
     /// other workspace checked out against the same graph. `None` for
     /// free-function workspaces (they compute everything fresh).
     cache: Option<Arc<GraphCache>>,
+    /// Byte charge recorded at checkout by the [`WorkspacePool`]'s budget
+    /// accounting; `None` for free-function and transient (over-budget
+    /// fallback) workspaces the pool is not accounting.
+    charge: Option<usize>,
 }
 
 impl Workspace {
@@ -133,9 +137,43 @@ impl Workspace {
 
     /// The cached vertex-degree vector, if this workspace is wired to a
     /// cache. Free-function workspaces return `None` and consumers fall
-    /// back to the CSR offsets — same integers either way.
-    pub(crate) fn cached_degrees(&self, g: &Graph) -> Option<Arc<Vec<u32>>> {
+    /// back to the backend's degree lookups — same integers either way.
+    pub(crate) fn cached_degrees<B: CsrBackend>(&self, g: &B) -> Option<Arc<Vec<u32>>> {
         self.cache.as_ref().map(|c| c.degrees(g))
+    }
+
+    /// Total resident bytes of every buffer this workspace has accreted —
+    /// the quantity the workspace pool's byte budget accounts. `O(#buffers)`.
+    pub fn resident_bytes(&self) -> usize {
+        self.mass.iter().map(MassMap::resident_bytes).sum::<usize>()
+            + self
+                .frontiers
+                .iter()
+                .map(Frontier::resident_bytes)
+                .sum::<usize>()
+            + self
+                .bitsets
+                .iter()
+                .map(Bitset::resident_bytes)
+                .sum::<usize>()
+            + self
+                .dense
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>()
+            + self.walks.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self
+                .rank
+                .as_ref()
+                .map_or(0, ConcurrentRankMap::resident_bytes)
+            + self
+                .sweep_rank
+                .as_ref()
+                .map_or(0, ConcurrentRankMap::resident_bytes)
+            + self
+                .counts
+                .as_ref()
+                .map_or(0, ConcurrentSparseVec::resident_bytes)
     }
 
     /// Capacity hint for a fresh sweep rank table (0 when uncached).
@@ -210,62 +248,164 @@ impl Workspace {
     }
 }
 
-/// A checkout pool of [`Workspace`]s behind a freelist — the mechanism
-/// that makes every query method `&self`-callable from any number of OS
-/// threads while staying allocation-warm.
+/// A checkout pool of [`Workspace`]s behind a byte-budgeted freelist —
+/// the mechanism that makes every query method `&self`-callable from any
+/// number of OS threads while staying allocation-warm, with resident
+/// scratch bounded in *bytes* per graph rather than in workspace count
+/// (workspaces accrete `O(n)` dense arenas over their lifetime, so a
+/// count cap bounds nothing on a big graph and over-throttles a small
+/// one).
 ///
-/// The lock is held only at the checkout boundary (a `Vec` pop/push per
-/// query or per batch worker chunk), never during a diffusion, so
-/// concurrent queries contend for microseconds, not milliseconds. Every
-/// checkout is wired to the pool's shared [`GraphCache`]; since recycled
-/// buffers are re-fitted to be observationally fresh and cache hits are
-/// bit-identical to fresh computation, *which* workspace a query happens
-/// to receive is invisible in its output — the invariant the concurrent
-/// service proptests hammer.
+/// The lock is held only at the checkout boundary (a `Vec` pop/push plus
+/// a few counter updates per query or per batch worker chunk), never
+/// during a diffusion, so concurrent queries contend for microseconds,
+/// not milliseconds. Every checkout is wired to the pool's shared
+/// [`GraphCache`]; since recycled buffers are re-fitted to be
+/// observationally fresh and cache hits are bit-identical to fresh
+/// computation, *which* workspace a query happens to receive is
+/// invisible in its output — the invariant the concurrent service
+/// proptests hammer.
 pub struct WorkspacePool {
-    free: Mutex<Vec<Workspace>>,
+    state: Mutex<PoolState>,
     cache: Arc<GraphCache>,
+    budget: usize,
 }
 
-/// At most this many idle workspaces are parked per graph. Workspaces
-/// accrete `O(n)` dense arenas over their lifetime, so an unbounded
-/// freelist would pin burst-peak memory forever in a long-lived service
-/// (the same reasoning that caps the ψ cache); restores beyond the cap
-/// drop the workspace instead. Covers the batch fan-out of pools up to
-/// 16 threads (`threads × 4` worker chunks).
-const MAX_PARKED_WORKSPACES: usize = 64;
+#[derive(Default)]
+struct PoolState {
+    /// Parked workspaces with their resident-byte sizes at park time.
+    free: Vec<(Workspace, usize)>,
+    /// Total resident bytes across parked workspaces.
+    parked_bytes: usize,
+    /// Bytes charged against the budget by in-flight checkouts.
+    in_flight_bytes: usize,
+    /// Largest resident size any restored workspace has reached — the
+    /// per-checkout charge estimate for fresh workspaces (a fresh
+    /// workspace is empty now but will grow to roughly this by restore).
+    watermark: usize,
+}
+
+/// Typed refusal from a workspace-pool checkout, surfaced by the
+/// engine's `try_run` entry points: admitting one more workspace would
+/// push the graph's resident scratch past its byte budget. The
+/// infallible query paths fall back to a transient unpooled workspace
+/// instead — a burst beyond the budget costs allocator traffic, never an
+/// error — so this type is for callers that want back-pressure they can
+/// act on (shed the query, queue it, or retry later).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkspaceBudgetExceeded {
+    /// The pool's configured byte budget.
+    pub budget_bytes: usize,
+    /// Bytes already charged by in-flight checkouts.
+    pub in_flight_bytes: usize,
+    /// Estimated charge of the denied checkout (the pool's observed
+    /// per-workspace resident high-watermark).
+    pub requested_bytes: usize,
+}
+
+impl std::fmt::Display for WorkspaceBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workspace byte budget exhausted: {} B in flight + {} B requested > {} B budget",
+            self.in_flight_bytes, self.requested_bytes, self.budget_bytes
+        )
+    }
+}
+
+impl std::error::Error for WorkspaceBudgetExceeded {}
+
+/// Default workspace byte budget for a graph occupying `graph_bytes`:
+/// 4× the graph, clamped to `[32 MiB, 1 GiB]`. Query scratch scales with
+/// diffusion support (a fraction of the graph), so a small multiple of
+/// the graph bounds burst-peak memory without throttling realistic
+/// concurrency; the floor keeps small graphs unthrottled and the ceiling
+/// caps what any single graph can pin in a many-graph service.
+pub(crate) fn default_workspace_budget(graph_bytes: usize) -> usize {
+    graph_bytes.saturating_mul(4).clamp(32 << 20, 1 << 30)
+}
 
 impl WorkspacePool {
-    /// An empty pool whose checkouts share `cache`.
-    pub(crate) fn new(cache: Arc<GraphCache>) -> Self {
+    /// An empty pool whose checkouts share `cache`, admitting at most
+    /// `budget` resident scratch bytes at a time.
+    pub(crate) fn new(cache: Arc<GraphCache>, budget: usize) -> Self {
         WorkspacePool {
-            free: Mutex::new(Vec::new()),
+            state: Mutex::new(PoolState::default()),
             cache,
+            budget,
         }
     }
 
-    /// Pops a warm workspace, or creates a fresh cache-wired one when
-    /// the freelist is empty (all warm ones are in flight).
-    pub(crate) fn checkout(&self) -> Workspace {
-        let warm = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
-        warm.unwrap_or_else(|| Workspace::with_cache(Arc::clone(&self.cache)))
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Returns a workspace to the freelist, dropping it instead once
-    /// [`MAX_PARKED_WORKSPACES`] are already parked — a concurrency
-    /// burst beyond the cap loses warmth, not correctness, and resident
-    /// scratch stays bounded. (A query that panics simply drops its
-    /// checkout the same way.)
-    pub(crate) fn restore(&self, ws: Workspace) {
-        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
-        if free.len() < MAX_PARKED_WORKSPACES {
-            free.push(ws);
+    /// Pops a warm workspace, or creates a fresh cache-wired one —
+    /// refusing the fresh checkout when charging it (at the pool's
+    /// observed per-workspace high-watermark) would overshoot the byte
+    /// budget. Parked workspaces are always admitted: their bytes are
+    /// already resident, so handing them out cannot grow the footprint.
+    pub(crate) fn try_checkout(&self) -> Result<Workspace, WorkspaceBudgetExceeded> {
+        let mut st = self.lock();
+        if let Some((mut ws, bytes)) = st.free.pop() {
+            st.parked_bytes -= bytes;
+            st.in_flight_bytes += bytes;
+            ws.charge = Some(bytes);
+            return Ok(ws);
+        }
+        let charge = st.watermark;
+        if st.in_flight_bytes.saturating_add(charge) > self.budget {
+            return Err(WorkspaceBudgetExceeded {
+                budget_bytes: self.budget,
+                in_flight_bytes: st.in_flight_bytes,
+                requested_bytes: charge,
+            });
+        }
+        st.in_flight_bytes += charge;
+        drop(st);
+        let mut ws = Workspace::with_cache(Arc::clone(&self.cache));
+        ws.charge = Some(charge);
+        Ok(ws)
+    }
+
+    /// Infallible checkout: on budget refusal, falls back to a transient
+    /// workspace the pool does not account. The transient is dropped at
+    /// restore, so a burst beyond the budget pays the cold free-function
+    /// allocation profile — never an error, and never unbounded resident
+    /// scratch.
+    pub(crate) fn checkout(&self) -> Workspace {
+        self.try_checkout()
+            .unwrap_or_else(|_| Workspace::with_cache(Arc::clone(&self.cache)))
+    }
+
+    /// Returns a workspace. Budget-accounted checkouts release their
+    /// charge, teach the pool their actual resident size (raising the
+    /// watermark future charges are estimated at), and park iff the
+    /// freelist's resident bytes stay within budget; transient fallbacks
+    /// are simply dropped. (A query that panics drops its checkout the
+    /// same way.)
+    pub(crate) fn restore(&self, mut ws: Workspace) {
+        let Some(charge) = ws.charge.take() else {
+            return; // transient over-budget fallback: not accounted
+        };
+        let bytes = ws.resident_bytes();
+        let mut st = self.lock();
+        st.in_flight_bytes = st.in_flight_bytes.saturating_sub(charge);
+        st.watermark = st.watermark.max(bytes);
+        if st.parked_bytes + bytes <= self.budget {
+            st.parked_bytes += bytes;
+            st.free.push((ws, bytes));
         }
     }
 
     /// Number of warm workspaces currently parked in the freelist.
     pub(crate) fn warm_count(&self) -> usize {
-        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.lock().free.len()
+    }
+
+    /// The pool's resident-byte budget.
+    pub(crate) fn budget(&self) -> usize {
+        self.budget
     }
 
     /// The shared per-graph cache all checkouts are wired to.
@@ -289,11 +429,19 @@ pub trait LocalDiffusion {
     /// scratch buffers out of `ws` (and returning them) instead of
     /// allocating. Passing a fresh [`Workspace`] is exactly the free
     /// function; passing a warm one gives the same bits without the
-    /// allocator traffic.
-    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion;
+    /// allocator traffic. Generic over the CSR backend — plain and
+    /// byte-compressed adjacency produce bit-identical output because
+    /// both enumerate neighbors in ascending order.
+    fn diffuse<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+    ) -> Diffusion;
 
     /// Runs the sequential reference implementation (fresh state).
-    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion;
+    fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion;
 
     /// A copy of the parameters with the direction-optimization knob
     /// replaced — the hook [`Engine`]'s global direction override uses.
@@ -308,10 +456,16 @@ impl LocalDiffusion for NibbleParams {
     fn name(&self) -> &'static str {
         "nibble"
     }
-    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+    fn diffuse<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+    ) -> Diffusion {
         crate::nibble::nibble_par_ws(pool, g, seed, self, ws)
     }
-    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+    fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::nibble::nibble_seq(g, seed, self)
     }
     fn with_direction(&self, dir: DirectionParams) -> Self {
@@ -323,10 +477,16 @@ impl LocalDiffusion for PrNibbleParams {
     fn name(&self) -> &'static str {
         "prnibble"
     }
-    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+    fn diffuse<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+    ) -> Diffusion {
         crate::prnibble::prnibble_par_ws(pool, g, seed, self, ws)
     }
-    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+    fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::prnibble::prnibble_seq(g, seed, self)
     }
     fn with_direction(&self, dir: DirectionParams) -> Self {
@@ -338,10 +498,16 @@ impl LocalDiffusion for HkprParams {
     fn name(&self) -> &'static str {
         "hkpr"
     }
-    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+    fn diffuse<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+    ) -> Diffusion {
         crate::hkpr::hkpr_par_ws(pool, g, seed, self, ws)
     }
-    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+    fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::hkpr::hkpr_seq(g, seed, self)
     }
     fn with_direction(&self, dir: DirectionParams) -> Self {
@@ -353,10 +519,16 @@ impl LocalDiffusion for RandHkprParams {
     fn name(&self) -> &'static str {
         "rand-hkpr"
     }
-    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+    fn diffuse<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+    ) -> Diffusion {
         crate::rand_hkpr::rand_hkpr_par_ws(pool, g, seed, self, ws)
     }
-    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+    fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::rand_hkpr::rand_hkpr_seq(g, seed, self)
     }
     /// Monte-Carlo walks have no frontier traversal to direction-optimize.
@@ -373,10 +545,16 @@ impl LocalDiffusion for EvolvingParams {
     /// diffusion it yields the membership indicator of its best set (mass
     /// `1/|S|` per member). [`Engine::run`] bypasses the sweep for it and
     /// reports the set directly.
-    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+    fn diffuse<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+    ) -> Diffusion {
         evolving_set_par_ws(pool, g, seed, self, ws).indicator()
     }
-    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+    fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::evolving::evolving_set_seq(g, seed, self).indicator()
     }
     fn with_direction(&self, dir: DirectionParams) -> Self {
@@ -394,7 +572,13 @@ impl LocalDiffusion for Algorithm {
             Algorithm::Evolving(p) => p.name(),
         }
     }
-    fn diffuse(&self, pool: &Pool, g: &Graph, seed: &Seed, ws: &mut Workspace) -> Diffusion {
+    fn diffuse<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+    ) -> Diffusion {
         match self {
             Algorithm::Nibble(p) => p.diffuse(pool, g, seed, ws),
             Algorithm::PrNibble(p) => p.diffuse(pool, g, seed, ws),
@@ -403,7 +587,7 @@ impl LocalDiffusion for Algorithm {
             Algorithm::Evolving(p) => p.diffuse(pool, g, seed, ws),
         }
     }
-    fn diffuse_seq(&self, g: &Graph, seed: &Seed) -> Diffusion {
+    fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         match self {
             Algorithm::Nibble(p) => p.diffuse_seq(g, seed),
             Algorithm::PrNibble(p) => p.diffuse_seq(g, seed),
@@ -443,9 +627,9 @@ impl Query {
 /// One full query: diffusion + rounding, over a shared workspace. The
 /// single code path behind [`crate::find_cluster`], [`Engine::run`], and
 /// each batch worker — which is what makes the three agree bit-for-bit.
-pub(crate) fn run_query(
+pub(crate) fn run_query<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     ws: &mut Workspace,
     seed: &Seed,
     algo: &Algorithm,
@@ -493,16 +677,17 @@ pub(crate) struct EngineCore {
 }
 
 impl EngineCore {
-    pub(crate) fn new(pool: PoolRef, dir: Option<DirectionParams>) -> Self {
+    /// A core admitting at most `budget` resident workspace bytes.
+    pub(crate) fn new(pool: PoolRef, dir: Option<DirectionParams>, budget: usize) -> Self {
         EngineCore {
             pool,
             dir,
-            workspaces: WorkspacePool::new(Arc::new(GraphCache::new())),
+            workspaces: WorkspacePool::new(Arc::new(GraphCache::new()), budget),
         }
     }
 
     /// A query handle over this core and `g`.
-    pub(crate) fn handle<'a>(&'a self, g: &'a Graph) -> EngineHandle<'a> {
+    pub(crate) fn handle<'a, B: CsrBackend>(&'a self, g: &'a B) -> EngineHandle<'a, B> {
         EngineHandle {
             g,
             pool: &self.pool,
@@ -517,15 +702,19 @@ impl EngineCore {
     }
 }
 
-/// Builds an [`Engine`]; obtained from [`Engine::builder`].
-pub struct EngineBuilder<'g> {
-    g: &'g Graph,
+/// Builds an [`Engine`]; obtained from [`Engine::builder`]. Generic over
+/// the CSR backend (`B = Graph` by default; pass a
+/// [`CsrCompressed`](lgc_graph::CsrCompressed) reference to
+/// [`Engine::builder`] to serve byte-compressed adjacency).
+pub struct EngineBuilder<'g, B: CsrBackend = Graph> {
+    g: &'g B,
     threads: Option<usize>,
     pool: Option<PoolRef>,
     dir: Option<DirectionParams>,
+    budget: Option<usize>,
 }
 
-impl<'g> EngineBuilder<'g> {
+impl<'g, B: CsrBackend> EngineBuilder<'g, B> {
     /// Exact thread count for the engine's pool (`Pool::new` semantics:
     /// not clamped to the machine, so benchmark sweeps stay comparable
     /// across hosts). Default: one thread per available core.
@@ -557,17 +746,29 @@ impl<'g> EngineBuilder<'g> {
         self
     }
 
+    /// Byte budget for the engine's resident workspace scratch: checkout
+    /// requests that would push the total past it are denied (`try_run`)
+    /// or served by transient unpooled workspaces (`run`). Default:
+    /// 4× the graph's resident bytes, clamped to `[32 MiB, 1 GiB]`.
+    pub fn workspace_budget(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
     /// Builds the engine (spawning the pool's workers if needed).
-    pub fn build(self) -> Engine<'g> {
+    pub fn build(self) -> Engine<'g, B> {
         let pool = self.pool.unwrap_or_else(|| {
             PoolRef::Owned(match self.threads {
                 Some(t) => Pool::new(t),
                 None => Pool::with_default_threads(),
             })
         });
+        let budget = self
+            .budget
+            .unwrap_or_else(|| default_workspace_budget(self.g.memory_bytes()));
         Engine {
             g: self.g,
-            core: EngineCore::new(pool, self.dir),
+            core: EngineCore::new(pool, self.dir, budget),
         }
     }
 }
@@ -583,29 +784,32 @@ impl<'g> EngineBuilder<'g> {
 /// workspace checkouts and cache hits are invisible in the output, only
 /// in the allocator profile and the amortized per-query latency
 /// (`bench_diffusion` records the warm and service columns).
-pub struct Engine<'g> {
-    g: &'g Graph,
+pub struct Engine<'g, B: CsrBackend = Graph> {
+    g: &'g B,
     core: EngineCore,
 }
 
-impl<'g> Engine<'g> {
-    /// Starts building an engine over `g`.
-    pub fn builder(g: &'g Graph) -> EngineBuilder<'g> {
+impl<'g, B: CsrBackend> Engine<'g, B> {
+    /// Starts building an engine over `g` — a plain [`Graph`] or a
+    /// [`CsrCompressed`](lgc_graph::CsrCompressed); queries are
+    /// bit-identical either way.
+    pub fn builder(g: &'g B) -> EngineBuilder<'g, B> {
         EngineBuilder {
             g,
             threads: None,
             pool: None,
             dir: None,
+            budget: None,
         }
     }
 
     /// An engine over `g` with default settings (machine-sized pool).
-    pub fn new(g: &'g Graph) -> Self {
+    pub fn new(g: &'g B) -> Self {
         Self::builder(g).build()
     }
 
     /// The graph this engine serves queries against.
-    pub fn graph(&self) -> &'g Graph {
+    pub fn graph(&self) -> &'g B {
         self.g
     }
 
@@ -634,11 +838,17 @@ impl<'g> Engine<'g> {
         self.core.workspaces.warm_count()
     }
 
+    /// The engine's resident-workspace byte budget (see
+    /// [`EngineBuilder::workspace_budget`]).
+    pub fn workspace_budget(&self) -> usize {
+        self.core.workspaces.budget()
+    }
+
     /// A borrowed, `Copy` query handle — what [`Engine`]'s own query
     /// methods delegate to, and the exact shape
     /// [`Service::engine`](crate::Service::engine) returns for its
     /// registered graphs.
-    pub fn handle(&self) -> EngineHandle<'_> {
+    pub fn handle(&self) -> EngineHandle<'_, B> {
         self.core.handle(self.g)
     }
 
@@ -649,6 +859,14 @@ impl<'g> Engine<'g> {
     /// minus the allocations. Callable from any thread.
     pub fn run(&self, query: &Query) -> ClusterResult {
         self.handle().run(query)
+    }
+
+    /// Like [`Engine::run`], but refuses (instead of falling back to a
+    /// transient workspace) when admitting the query's scratch would
+    /// exceed the engine's workspace byte budget — back-pressure a
+    /// caller can act on.
+    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, WorkspaceBudgetExceeded> {
+        self.handle().try_run(query)
     }
 
     /// Runs just the diffusion of `algo` from `seed` (no sweep).
@@ -683,17 +901,25 @@ impl<'g> Engine<'g> {
 /// and may be called concurrently from any number of OS threads; each
 /// query checks a [`Workspace`] out of the underlying pool for its
 /// duration.
-#[derive(Clone, Copy)]
-pub struct EngineHandle<'a> {
-    g: &'a Graph,
+pub struct EngineHandle<'a, B: CsrBackend = Graph> {
+    g: &'a B,
     pool: &'a Pool,
     dir: Option<DirectionParams>,
     workspaces: &'a WorkspacePool,
 }
 
-impl<'a> EngineHandle<'a> {
+// Manual impls: `derive(Clone, Copy)` would demand `B: Copy`, but the
+// handle only holds `&B`.
+impl<B: CsrBackend> Clone for EngineHandle<'_, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<B: CsrBackend> Copy for EngineHandle<'_, B> {}
+
+impl<'a, B: CsrBackend> EngineHandle<'a, B> {
     /// The graph this handle queries.
-    pub fn graph(&self) -> &'a Graph {
+    pub fn graph(&self) -> &'a B {
         self.g
     }
 
@@ -727,6 +953,15 @@ impl<'a> EngineHandle<'a> {
         let out = run_query(self.pool, self.g, &mut ws, &query.seed, &algo);
         self.workspaces.restore(ws);
         out
+    }
+
+    /// See [`Engine::try_run`].
+    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, WorkspaceBudgetExceeded> {
+        let algo = self.resolve(&query.algo);
+        let mut ws = self.workspaces.try_checkout()?;
+        let out = run_query(self.pool, self.g, &mut ws, &query.seed, &algo);
+        self.workspaces.restore(ws);
+        Ok(out)
     }
 
     /// See [`Engine::diffuse`].

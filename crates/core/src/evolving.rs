@@ -27,7 +27,7 @@
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_ligra::{edge_map, edge_map_dense_count, Direction, DirectionParams, VertexSubset};
 use lgc_parallel::{filter_map_index, Pool};
 use lgc_sparse::{ConcurrentSparseVec, SparseVec};
@@ -122,7 +122,11 @@ fn transition(is_member: bool, neighbors_inside: u64, degree: usize) -> f64 {
 }
 
 /// Sequential evolving set process.
-pub fn evolving_set_seq(g: &Graph, seed: &Seed, params: &EvolvingParams) -> EvolvingResult {
+pub fn evolving_set_seq<B: CsrBackend>(
+    g: &B,
+    seed: &Seed,
+    params: &EvolvingParams,
+) -> EvolvingResult {
     let mut rng = StdRng::seed_from_u64(params.rng_seed);
     let mut current: Vec<u32> = seed.vertices().to_vec();
     let mut best = snapshot(g, &current);
@@ -136,9 +140,7 @@ pub fn evolving_set_seq(g: &Graph, seed: &Seed, params: &EvolvingParams) -> Evol
         // Exact |N(v) ∩ S| counts for everything adjacent to S.
         let mut inside = SparseVec::new_f64();
         for &v in &current {
-            for &w in g.neighbors(v) {
-                inside.add(w, 1.0);
-            }
+            g.for_each_neighbor(v, |w| inside.add(w, 1.0));
         }
         // Candidates: S ∪ N(S) (members with no S-neighbor still qualify
         // through the lazy self-loop ½ ≥ u half the time).
@@ -170,9 +172,9 @@ pub fn evolving_set_seq(g: &Graph, seed: &Seed, params: &EvolvingParams) -> Evol
 /// accumulating exact integers, the threshold test one parallel filter.
 /// Follows the identical random trajectory as [`evolving_set_seq`] for
 /// the same `rng_seed` (the counts are exact, so no float-order drift).
-pub fn evolving_set_par(
+pub fn evolving_set_par<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     seed: &Seed,
     params: &EvolvingParams,
 ) -> EvolvingResult {
@@ -184,9 +186,9 @@ pub fn evolving_set_par(
 /// counting) are checked out of `ws` instead of allocated. The
 /// trajectory is count-exact, so neither workspace reuse nor the
 /// per-step direction choice can perturb it.
-pub(crate) fn evolving_set_par_ws(
+pub(crate) fn evolving_set_par_ws<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     seed: &Seed,
     params: &EvolvingParams,
     ws: &mut Workspace,
@@ -257,7 +259,7 @@ pub(crate) fn evolving_set_par_ws(
     finish(best, steps, sizes)
 }
 
-fn snapshot(g: &Graph, set: &[u32]) -> (Vec<u32>, f64) {
+fn snapshot<B: CsrBackend>(g: &B, set: &[u32]) -> (Vec<u32>, f64) {
     (set.to_vec(), g.conductance(set))
 }
 

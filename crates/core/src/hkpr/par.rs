@@ -10,7 +10,7 @@ use super::HkprParams;
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_ligra::{edge_map_dense, edge_map_dense_gather, edge_map_indexed, Direction, VertexSubset};
 use lgc_parallel::{map_index, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
@@ -30,7 +30,7 @@ use lgc_sparse::MassMap;
 /// intact while dropping all per-edge atomics. The next level's frontier
 /// is filtered directly off `r_next`'s backend. Mass vectors are
 /// adaptive [`MassMap`]s.
-pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
+pub fn hkpr_par<B: CsrBackend>(pool: &Pool, g: &B, seed: &Seed, params: &HkprParams) -> Diffusion {
     hkpr_par_ws(pool, g, seed, params, &mut Workspace::new())
 }
 
@@ -38,9 +38,9 @@ pub fn hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &HkprParams) -> Dif
 /// frontier (with its bitset), and the vertex-indexed contribution slice
 /// are checked out of `ws` instead of allocated; checkouts are re-fitted
 /// to match fresh allocations exactly, so warm runs are bit-identical.
-pub(crate) fn hkpr_par_ws(
+pub(crate) fn hkpr_par_ws<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     seed: &Seed,
     params: &HkprParams,
     ws: &mut Workspace,

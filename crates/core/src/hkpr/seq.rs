@@ -5,7 +5,7 @@
 use super::HkprParams;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_sparse::SparseVec;
 use std::collections::{HashMap, VecDeque};
 
@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 /// Explores `O(N·e^t/ε)` edges; the returned vector is identical (up to
 /// float-addition order) to [`super::hkpr_par`] because updates flow
 /// strictly level-by-level.
-pub fn hkpr_seq(g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
+pub fn hkpr_seq<B: CsrBackend>(g: &B, seed: &Seed, params: &HkprParams) -> Diffusion {
     params.validate();
     let n_levels = params.n_levels;
     let psi = super::psi_table(params.t, n_levels);
@@ -39,7 +39,7 @@ pub fn hkpr_seq(g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
         }
         stats.pushed_volume += d as u64;
         let mass = params.t * rv / ((j + 1) as f64 * d as f64);
-        for &w in g.neighbors(v) {
+        g.for_each_neighbor(v, |w| {
             stats.edges_traversed += 1;
             if j + 1 == n_levels {
                 // Final level: flush straight into p.
@@ -52,7 +52,7 @@ pub fn hkpr_seq(g: &Graph, seed: &Seed, params: &HkprParams) -> Diffusion {
                 }
                 *slot += mass;
             }
-        }
+        });
     }
 
     // The push process accumulates the *unnormalized* Taylor sum

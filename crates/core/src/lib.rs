@@ -65,11 +65,11 @@ mod seed;
 mod service;
 mod sweep;
 
-#[allow(deprecated)] // re-exported for migration; see the item's note
-pub use batch::batch_prnibble;
 pub use batch::run_batch;
 pub use cache::{GraphCache, GraphSummary};
-pub use engine::{Engine, EngineBuilder, EngineHandle, LocalDiffusion, Query, Workspace};
+pub use engine::{
+    Engine, EngineBuilder, EngineHandle, LocalDiffusion, Query, Workspace, WorkspaceBudgetExceeded,
+};
 pub use evolving::{evolving_set_par, evolving_set_seq, EvolvingParams, EvolvingResult};
 pub use hkpr::{hkpr_par, hkpr_seq, psi_table, HkprParams};
 pub use ncp::{ncp_prnibble, NcpParams, NcpPoint};
@@ -80,14 +80,14 @@ pub use prnibble::{
 pub use rand_hkpr::{rand_hkpr_par, rand_hkpr_seq, RandHkprParams};
 pub use result::{ClusterResult, Diffusion, DiffusionStats};
 pub use seed::Seed;
-pub use service::{Service, ServiceBuilder};
+pub use service::{GraphStore, Service, ServiceBuilder, ServiceEngine};
 pub use sweep::{sweep_cut_par, sweep_cut_seq, SweepCut};
 
 // The direction-optimization knob carried by the diffusion param structs,
 // re-exported so callers can configure it without a direct lgc-ligra dep.
 pub use lgc_ligra::{Direction, DirectionMode, DirectionParams};
 
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_parallel::Pool;
 
 /// Which diffusion to run (with its parameters).
@@ -118,6 +118,11 @@ pub enum Algorithm {
 /// is the one-shot form of [`Engine::run`]: same code path, but scratch
 /// state is allocated fresh and dropped. Query loops should build an
 /// [`Engine`] instead and let its [`Workspace`] amortize the allocations.
-pub fn find_cluster(pool: &Pool, g: &Graph, seed: &Seed, algo: &Algorithm) -> ClusterResult {
+pub fn find_cluster<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    seed: &Seed,
+    algo: &Algorithm,
+) -> ClusterResult {
     engine::run_query(pool, g, &mut Workspace::new(), seed, algo)
 }

@@ -11,7 +11,7 @@ use crate::engine::Workspace;
 use crate::prnibble::{prnibble_par_ws, PrNibbleParams, PushRule};
 use crate::seed::Seed;
 use crate::sweep::sweep_cut_par_ws;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_parallel::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,7 +62,7 @@ pub struct NcpPoint {
 /// the result keeps the minimum per size, sorted by size. Runs use the
 /// parallel algorithms internally (the paper's setting: one analyst
 /// query at a time, each as fast as possible).
-pub fn ncp_prnibble(pool: &Pool, g: &Graph, params: &NcpParams) -> Vec<NcpPoint> {
+pub fn ncp_prnibble<B: CsrBackend>(pool: &Pool, g: &B, params: &NcpParams) -> Vec<NcpPoint> {
     ncp_prnibble_ws(pool, g, params, &mut Workspace::new())
 }
 
@@ -71,9 +71,9 @@ pub fn ncp_prnibble(pool: &Pool, g: &Graph, params: &NcpParams) -> Vec<NcpPoint>
 /// diffusion + sweep queries, the highest-leverage consumer of buffer
 /// recycling (each grid point would otherwise rebuild its mass arenas,
 /// frontier bitsets, and sweep rank table from scratch).
-pub(crate) fn ncp_prnibble_ws(
+pub(crate) fn ncp_prnibble_ws<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     params: &NcpParams,
     ws: &mut Workspace,
 ) -> Vec<NcpPoint> {

@@ -15,7 +15,7 @@
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_ligra::{
     edge_map_dense, edge_map_indexed, Direction, DirectionParams, Frontier, VertexSubset,
 };
@@ -57,7 +57,7 @@ impl Default for NibbleParams {
 }
 
 /// Sequential Nibble.
-pub fn nibble_seq(g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
+pub fn nibble_seq<B: CsrBackend>(g: &B, seed: &Seed, params: &NibbleParams) -> Diffusion {
     let eps = params.eps;
     let mut stats = DiffusionStats::default();
 
@@ -83,10 +83,10 @@ pub fn nibble_seq(g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
         }
         for &v in &frontier {
             let share = p.get(v) / (2.0 * g.degree(v) as f64);
-            for &w in g.neighbors(v) {
+            g.for_each_neighbor(v, |w| {
                 p_new.add(w, share); // UpdateNgh
                 stats.edges_traversed += 1;
-            }
+            });
             stats.pushed_volume += g.degree(v) as u64;
         }
 
@@ -124,7 +124,12 @@ pub fn nibble_seq(g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
 /// shares with plain single-writer stores — no atomics, and bit-equal to
 /// the sequential update order. The next frontier is filtered straight
 /// off `p_new`'s backend (no intermediate entries vector).
-pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) -> Diffusion {
+pub fn nibble_par<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    seed: &Seed,
+    params: &NibbleParams,
+) -> Diffusion {
     nibble_par_ws(pool, g, seed, params, &mut Workspace::new())
 }
 
@@ -132,9 +137,9 @@ pub fn nibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &NibbleParams) ->
 /// frontier (with its bitset), and the vertex-indexed share slice are
 /// checked out of `ws` instead of allocated; checkouts are re-fitted to
 /// match fresh allocations exactly, so warm runs are bit-identical.
-pub(crate) fn nibble_par_ws(
+pub(crate) fn nibble_par_ws<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     seed: &Seed,
     params: &NibbleParams,
     ws: &mut Workspace,
@@ -207,9 +212,9 @@ pub(crate) fn nibble_par_ws(
 /// dies or `t_max` passes without reaching it. Theorem 2 notes the
 /// per-iteration sweep raises the work to `O((T/ε)·log(1/ε))` without
 /// increasing the depth.
-pub fn nibble_with_target_par(
+pub fn nibble_with_target_par<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     seed: &Seed,
     params: &NibbleParams,
     phi_target: f64,
@@ -277,9 +282,9 @@ pub fn nibble_with_target_par(
 /// order with plain single-writer adds, reproducing the sequential
 /// accumulation order bit-for-bit.
 #[allow(clippy::too_many_arguments)]
-fn lazy_walk_step(
+fn lazy_walk_step<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     frontier: &mut Frontier,
     k: usize,
     vol: usize,
@@ -346,7 +351,7 @@ fn lazy_walk_step(
 }
 
 /// The seed vertices that meet the activity threshold initially.
-fn active_seed(g: &Graph, seed: &Seed, eps: f64) -> Vec<u32> {
+fn active_seed<B: CsrBackend>(g: &B, seed: &Seed, eps: f64) -> Vec<u32> {
     let m0 = seed.mass_per_vertex();
     seed.vertices()
         .iter()

@@ -15,7 +15,7 @@ use super::PrNibbleParams;
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_ligra::{edge_map_dense_gather, edge_map_indexed, Direction, VertexSubset};
 use lgc_parallel::{filter_map_index, Bitset, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
@@ -46,7 +46,12 @@ use lgc_sparse::MassMap;
 /// Mass vectors live in [`MassMap`]s, which upgrade themselves to
 /// direct-indexed dense arrays once the per-iteration key bound crosses
 /// `params.dense_frac · n` — the regime pull iterations live in.
-pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
+pub fn prnibble_par<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    seed: &Seed,
+    params: &PrNibbleParams,
+) -> Diffusion {
     prnibble_par_ws(pool, g, seed, params, &mut Workspace::new())
 }
 
@@ -55,9 +60,9 @@ pub fn prnibble_par(pool: &Pool, g: &Graph, seed: &Seed, params: &PrNibbleParams
 /// and the receiver bitset are checked out of `ws` instead of allocated —
 /// and every checkout is re-fitted to be observationally identical to a
 /// fresh allocation, so warm runs return the same bits as cold ones.
-pub(crate) fn prnibble_par_ws(
+pub(crate) fn prnibble_par_ws<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     seed: &Seed,
     params: &PrNibbleParams,
     ws: &mut Workspace,
@@ -284,7 +289,7 @@ fn merge_sorted_distinct(a: &[u32], b: &[u32]) -> Vec<u32> {
 /// since `d > 0`) in the prefix in `O(k)` expected time instead of
 /// `O(k log k)`. The selected *set* is deterministic because the
 /// comparator never declares two distinct vertices equal.
-fn select_frontier(g: &Graph, r: &MassMap, eligible: &[u32], beta: f64) -> VertexSubset {
+fn select_frontier<B: CsrBackend>(g: &B, r: &MassMap, eligible: &[u32], beta: f64) -> VertexSubset {
     if beta >= 1.0 {
         return VertexSubset::from_sorted(eligible.to_vec());
     }

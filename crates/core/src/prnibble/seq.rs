@@ -5,7 +5,7 @@
 use super::PrNibbleParams;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_sparse::SparseVec;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -16,7 +16,7 @@ use std::collections::{BinaryHeap, VecDeque};
 /// the threshold (one push suffices under the optimized rule, which
 /// zeroes the residual). Work: `O(1/(α·ε))` (Lemma 2 of ACL, extended to
 /// the optimized rule in §3.3).
-pub fn prnibble_seq(g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
+pub fn prnibble_seq<B: CsrBackend>(g: &B, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
     params.validate();
     let mut state = PushState::new(g, seed, params);
     let mut queue: VecDeque<u32> = state.initial_active().into();
@@ -34,7 +34,11 @@ pub fn prnibble_seq(g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusio
 /// Sequential PR-Nibble with a max-priority queue on `r[v]/d(v)` at
 /// insertion time — the ablation of §3.3 ("we did not find this to help
 /// much in practice, and sometimes performance was worse").
-pub fn prnibble_seq_priority_queue(g: &Graph, seed: &Seed, params: &PrNibbleParams) -> Diffusion {
+pub fn prnibble_seq_priority_queue<B: CsrBackend>(
+    g: &B,
+    seed: &Seed,
+    params: &PrNibbleParams,
+) -> Diffusion {
     params.validate();
     let mut state = PushState::new(g, seed, params);
     let mut heap: BinaryHeap<HeapEntry> = state
@@ -85,8 +89,8 @@ impl Ord for HeapEntry {
 }
 
 /// Shared push machinery for the two sequential variants.
-struct PushState<'g> {
-    g: &'g Graph,
+struct PushState<'g, B> {
+    g: &'g B,
     p: SparseVec,
     r: SparseVec,
     eps: f64,
@@ -94,8 +98,8 @@ struct PushState<'g> {
     stats: DiffusionStats,
 }
 
-impl<'g> PushState<'g> {
-    fn new(g: &'g Graph, seed: &Seed, params: &PrNibbleParams) -> Self {
+impl<'g, B: CsrBackend> PushState<'g, B> {
+    fn new(g: &'g B, seed: &Seed, params: &PrNibbleParams) -> Self {
         let mut r = SparseVec::new_f64();
         for &x in seed.vertices() {
             r.set(x, seed.mass_per_vertex());
@@ -146,16 +150,17 @@ impl<'g> PushState<'g> {
         self.r.set(v, cr * rv);
         let share = cn * rv / d;
         let mut newly_active = Vec::new();
-        for &w in self.g.neighbors(v) {
-            self.stats.edges_traversed += 1;
-            let thr = self.eps * self.g.degree(w) as f64;
-            let old = self.r.get(w);
+        let (g, r, stats, eps) = (self.g, &mut self.r, &mut self.stats, self.eps);
+        g.for_each_neighbor(v, |w| {
+            stats.edges_traversed += 1;
+            let thr = eps * g.degree(w) as f64;
+            let old = r.get(w);
             let new = old + share;
-            self.r.set(w, new);
+            r.set(w, new);
             if old < thr && new >= thr {
                 newly_active.push(w);
             }
-        }
+        });
         newly_active
     }
 

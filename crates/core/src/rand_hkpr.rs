@@ -18,7 +18,7 @@
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_parallel::{counting_sort_by_key, fill_with_index, filter_map_index, map_index, Pool};
 use lgc_sparse::{ConcurrentRankMap, SparseVec};
 use rand::rngs::StdRng;
@@ -101,7 +101,13 @@ fn pick_below(mut raw: u64, rng: &mut StdRng, span: u64) -> u64 {
 /// block — the walk loop's only memory traffic is then the adjacency
 /// lookups themselves. Sequential and parallel callers share this
 /// function, so the two remain destination-for-destination identical.
-fn run_walk(g: &Graph, seed: &Seed, cdf: &[f64], master_seed: u64, i: usize) -> (u32, u32) {
+fn run_walk<B: CsrBackend>(
+    g: &B,
+    seed: &Seed,
+    cdf: &[f64],
+    master_seed: u64,
+    i: usize,
+) -> (u32, u32) {
     let mut rng =
         StdRng::seed_from_u64(master_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let starts = seed.vertices();
@@ -119,11 +125,11 @@ fn run_walk(g: &Graph, seed: &Seed, cdf: &[f64], master_seed: u64, i: usize) -> 
         let take = remaining.min(WALK_RNG_BLOCK);
         rng.fill_u64(&mut buf[..take]);
         for &raw in &buf[..take] {
-            let nbrs = g.neighbors(v);
-            if nbrs.is_empty() {
+            let d = g.degree(v);
+            if d == 0 {
                 break 'walk;
             }
-            v = nbrs[pick_below(raw, &mut rng, nbrs.len() as u64) as usize];
+            v = g.neighbor_at(v, pick_below(raw, &mut rng, d as u64) as usize);
             steps += 1;
         }
         remaining -= take;
@@ -132,7 +138,7 @@ fn run_walk(g: &Graph, seed: &Seed, cdf: &[f64], master_seed: u64, i: usize) -> 
 }
 
 /// Sequential rand-HK-PR: one walk at a time into a sparse counter.
-pub fn rand_hkpr_seq(g: &Graph, seed: &Seed, params: &RandHkprParams) -> Diffusion {
+pub fn rand_hkpr_seq<B: CsrBackend>(g: &B, seed: &Seed, params: &RandHkprParams) -> Diffusion {
     params.validate();
     let cdf = params.length_cdf();
     let mut stats = DiffusionStats::default();
@@ -156,7 +162,12 @@ pub fn rand_hkpr_seq(g: &Graph, seed: &Seed, params: &RandHkprParams) -> Diffusi
 }
 
 /// Parallel rand-HK-PR with the paper's sort-based aggregation.
-pub fn rand_hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &RandHkprParams) -> Diffusion {
+pub fn rand_hkpr_par<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    seed: &Seed,
+    params: &RandHkprParams,
+) -> Diffusion {
     rand_hkpr_par_ws(pool, g, seed, params, &mut Workspace::new())
 }
 
@@ -165,9 +176,9 @@ pub fn rand_hkpr_par(pool: &Pool, g: &Graph, seed: &Seed, params: &RandHkprParam
 /// `ws`. Per-walk RNG streams make the walks themselves reuse-invariant,
 /// and the aggregation's output is sorted by vertex id, so the recycled
 /// buffers cannot influence the result bits.
-pub(crate) fn rand_hkpr_par_ws(
+pub(crate) fn rand_hkpr_par_ws<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     seed: &Seed,
     params: &RandHkprParams,
     ws: &mut Workspace,

@@ -42,17 +42,98 @@
 //! threads).
 
 use crate::cache::{GraphCache, GraphSummary};
-use crate::engine::{EngineCore, EngineHandle, PoolRef};
-use lgc_graph::Graph;
+use crate::engine::{default_workspace_budget, EngineCore, EngineHandle, PoolRef};
+use crate::ncp::{NcpParams, NcpPoint};
+use crate::result::{ClusterResult, Diffusion};
+use crate::seed::Seed;
+use crate::{Algorithm, Query, WorkspaceBudgetExceeded};
+use lgc_graph::{CsrBackend, CsrCompressed, Graph};
 use lgc_ligra::DirectionParams;
 use lgc_parallel::Pool;
 use std::sync::Arc;
+
+/// A registered graph in either storage backend: plain CSR ([`Graph`])
+/// or byte-compressed CSR ([`CsrCompressed`]). Both answer every query
+/// bit-identically; compressed storage trades a decode per traversed
+/// edge for a fraction of the adjacency bytes. `From` impls let
+/// [`Service::add_graph`] accept any of `Graph`, `CsrCompressed`, or
+/// `Arc`s of either.
+#[derive(Clone)]
+pub enum GraphStore {
+    /// Plain CSR adjacency (`u32` per neighbor).
+    Plain(Arc<Graph>),
+    /// Delta + varint byte-coded adjacency.
+    Compressed(Arc<CsrCompressed>),
+}
+
+impl From<Graph> for GraphStore {
+    fn from(g: Graph) -> Self {
+        GraphStore::Plain(Arc::new(g))
+    }
+}
+impl From<Arc<Graph>> for GraphStore {
+    fn from(g: Arc<Graph>) -> Self {
+        GraphStore::Plain(g)
+    }
+}
+impl From<CsrCompressed> for GraphStore {
+    fn from(g: CsrCompressed) -> Self {
+        GraphStore::Compressed(Arc::new(g))
+    }
+}
+impl From<Arc<CsrCompressed>> for GraphStore {
+    fn from(g: Arc<CsrCompressed>) -> Self {
+        GraphStore::Compressed(g)
+    }
+}
+
+impl GraphStore {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            GraphStore::Plain(g) => g.num_vertices(),
+            GraphStore::Compressed(g) => g.num_vertices(),
+        }
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            GraphStore::Plain(g) => g.num_edges(),
+            GraphStore::Compressed(g) => g.num_edges(),
+        }
+    }
+
+    /// Total resident bytes of the graph structure.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            GraphStore::Plain(g) => g.memory_bytes(),
+            GraphStore::Compressed(g) => g.memory_bytes(),
+        }
+    }
+
+    /// The plain-CSR graph, if that is the backend.
+    pub fn as_plain(&self) -> Option<&Arc<Graph>> {
+        match self {
+            GraphStore::Plain(g) => Some(g),
+            GraphStore::Compressed(_) => None,
+        }
+    }
+
+    /// The byte-compressed graph, if that is the backend.
+    pub fn as_compressed(&self) -> Option<&Arc<CsrCompressed>> {
+        match self {
+            GraphStore::Plain(_) => None,
+            GraphStore::Compressed(g) => Some(g),
+        }
+    }
+}
 
 /// One registered graph: the graph itself plus its engine state
 /// (workspace checkout pool + cache) over the service's shared pool.
 struct GraphEntry {
     name: String,
-    graph: Arc<Graph>,
+    store: GraphStore,
     core: EngineCore,
 }
 
@@ -80,14 +161,25 @@ impl Service {
 
     /// A query handle for the graph registered as `name`, or `None` if
     /// no such graph. The handle is `Copy` and `&self`-querying: grab
-    /// one per request, or keep one around — both are fine.
-    pub fn engine(&self, name: &str) -> Option<EngineHandle<'_>> {
-        self.entry(name).map(|e| e.core.handle(&e.graph))
+    /// one per request, or keep one around — both are fine. It
+    /// dispatches to the graph's storage backend internally; results are
+    /// bit-identical across backends.
+    pub fn engine(&self, name: &str) -> Option<ServiceEngine<'_>> {
+        self.entry(name).map(|e| match &e.store {
+            GraphStore::Plain(g) => ServiceEngine::Plain(e.core.handle(g)),
+            GraphStore::Compressed(g) => ServiceEngine::Compressed(e.core.handle(g)),
+        })
     }
 
-    /// The registered graph named `name`.
+    /// The registered graph named `name`, if it uses the plain-CSR
+    /// backend ([`Service::store`] reaches either backend).
     pub fn graph(&self, name: &str) -> Option<&Arc<Graph>> {
-        self.entry(name).map(|e| &e.graph)
+        self.entry(name).and_then(|e| e.store.as_plain())
+    }
+
+    /// The storage backend of the graph named `name`.
+    pub fn store(&self, name: &str) -> Option<&GraphStore> {
+        self.entry(name).map(|e| &e.store)
     }
 
     /// The seed-independent cache of the graph named `name` —
@@ -97,9 +189,14 @@ impl Service {
     }
 
     /// Summary statistics of the graph named `name`, served from its
-    /// cache (computed on first request, then free).
+    /// cache (computed on first request, then free). Includes the
+    /// backend's resident byte counts, so a deployment can compare plain
+    /// vs compressed storage per graph.
     pub fn summary(&self, name: &str) -> Option<GraphSummary> {
-        self.entry(name).map(|e| e.core.cache().summary(&e.graph))
+        self.entry(name).map(|e| match &e.store {
+            GraphStore::Plain(g) => e.core.cache().summary(g.as_ref()),
+            GraphStore::Compressed(g) => e.core.cache().summary(g.as_ref()),
+        })
     }
 
     /// Registered graph names, in registration order.
@@ -117,33 +214,137 @@ impl Service {
         &self.pool
     }
 
-    /// Registers (or hot-swaps) a graph after build. Replacing a name
-    /// drops the old graph's engine state — its workspace pool and cache
-    /// belong to the graph they were built for.
-    pub fn add_graph(&mut self, name: impl Into<String>, graph: Graph) {
-        self.add_graph_shared(name, Arc::new(graph));
+    /// Registers (or hot-swaps) a graph after build — a [`Graph`], a
+    /// [`CsrCompressed`], or an `Arc` of either. Replacing a name drops
+    /// the old graph's engine state — its workspace pool and cache
+    /// belong to the graph they were built for. The workspace byte
+    /// budget defaults to 4× the graph's resident bytes (clamped to
+    /// `[32 MiB, 1 GiB]`); see [`Service::add_graph_with_budget`].
+    pub fn add_graph(&mut self, name: impl Into<String>, graph: impl Into<GraphStore>) {
+        self.insert(name.into(), graph.into(), None);
+    }
+
+    /// [`Service::add_graph`] with an explicit resident-workspace byte
+    /// budget for the graph's checkout pool (same semantics as
+    /// [`EngineBuilder::workspace_budget`](crate::EngineBuilder::workspace_budget)).
+    pub fn add_graph_with_budget(
+        &mut self,
+        name: impl Into<String>,
+        graph: impl Into<GraphStore>,
+        budget_bytes: usize,
+    ) {
+        self.insert(name.into(), graph.into(), Some(budget_bytes));
     }
 
     /// [`Service::add_graph`] for graphs the caller also keeps (the
     /// service holds graphs behind `Arc`).
     pub fn add_graph_shared(&mut self, name: impl Into<String>, graph: Arc<Graph>) {
-        let name = name.into();
-        let core = EngineCore::new(PoolRef::Shared(Arc::clone(&self.pool)), self.dir);
-        let entry = GraphEntry { name, graph, core };
+        self.add_graph(name, graph);
+    }
+
+    fn insert(&mut self, name: String, store: GraphStore, budget: Option<usize>) {
+        let budget = budget.unwrap_or_else(|| default_workspace_budget(store.memory_bytes()));
+        let core = EngineCore::new(PoolRef::Shared(Arc::clone(&self.pool)), self.dir, budget);
+        let entry = GraphEntry { name, store, core };
         match self.graphs.iter_mut().find(|e| e.name == entry.name) {
             Some(slot) => *slot = entry,
             None => self.graphs.push(entry),
         }
     }
 
-    /// Unregisters a graph; returns it if it was registered.
-    pub fn remove_graph(&mut self, name: &str) -> Option<Arc<Graph>> {
+    /// Unregisters a graph; returns its store if it was registered.
+    pub fn remove_graph(&mut self, name: &str) -> Option<GraphStore> {
         let i = self.graphs.iter().position(|e| e.name == name)?;
-        Some(self.graphs.remove(i).graph)
+        Some(self.graphs.remove(i).store)
     }
 
     fn entry(&self, name: &str) -> Option<&GraphEntry> {
         self.graphs.iter().find(|e| e.name == name)
+    }
+}
+
+/// A `Copy` query handle over one registered graph, dispatching each
+/// call to the graph's storage backend — the [`Service`] analogue of
+/// [`EngineHandle`], which it wraps. All methods take `&self` and may be
+/// called concurrently; results are bit-identical across backends.
+#[derive(Clone, Copy)]
+pub enum ServiceEngine<'a> {
+    /// Handle over a plain-CSR graph.
+    Plain(EngineHandle<'a, Graph>),
+    /// Handle over a byte-compressed graph.
+    Compressed(EngineHandle<'a, CsrCompressed>),
+}
+
+impl<'a> ServiceEngine<'a> {
+    /// The underlying thread pool.
+    pub fn pool(&self) -> &'a Pool {
+        match self {
+            ServiceEngine::Plain(h) => h.pool(),
+            ServiceEngine::Compressed(h) => h.pool(),
+        }
+    }
+
+    /// Total threads participating in each query.
+    pub fn num_threads(&self) -> usize {
+        self.pool().num_threads()
+    }
+
+    /// The graph's cache of seed-independent state.
+    pub fn cache(&self) -> &'a Arc<GraphCache> {
+        match self {
+            ServiceEngine::Plain(h) => h.cache(),
+            ServiceEngine::Compressed(h) => h.cache(),
+        }
+    }
+
+    /// See [`Engine::run`](crate::Engine::run).
+    pub fn run(&self, query: &Query) -> ClusterResult {
+        match self {
+            ServiceEngine::Plain(h) => h.run(query),
+            ServiceEngine::Compressed(h) => h.run(query),
+        }
+    }
+
+    /// See [`Engine::try_run`](crate::Engine::try_run): refuses with a
+    /// typed error instead of falling back to a transient workspace when
+    /// the graph's workspace byte budget is exhausted.
+    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, WorkspaceBudgetExceeded> {
+        match self {
+            ServiceEngine::Plain(h) => h.try_run(query),
+            ServiceEngine::Compressed(h) => h.try_run(query),
+        }
+    }
+
+    /// See [`Engine::diffuse`](crate::Engine::diffuse).
+    pub fn diffuse(&self, seed: &Seed, algo: &Algorithm) -> Diffusion {
+        match self {
+            ServiceEngine::Plain(h) => h.diffuse(seed, algo),
+            ServiceEngine::Compressed(h) => h.diffuse(seed, algo),
+        }
+    }
+
+    /// See [`Engine::run_batch`](crate::Engine::run_batch).
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<ClusterResult> {
+        match self {
+            ServiceEngine::Plain(h) => h.run_batch(queries),
+            ServiceEngine::Compressed(h) => h.run_batch(queries),
+        }
+    }
+
+    /// See [`Engine::ncp`](crate::Engine::ncp).
+    pub fn ncp(&self, params: &NcpParams) -> Vec<NcpPoint> {
+        match self {
+            ServiceEngine::Plain(h) => h.ncp(params),
+            ServiceEngine::Compressed(h) => h.ncp(params),
+        }
+    }
+
+    /// The plain-CSR handle, if that is the backend.
+    pub fn as_plain(&self) -> Option<EngineHandle<'a, Graph>> {
+        match self {
+            ServiceEngine::Plain(h) => Some(*h),
+            ServiceEngine::Compressed(_) => None,
+        }
     }
 }
 
@@ -152,7 +353,7 @@ pub struct ServiceBuilder {
     pool: Option<Arc<Pool>>,
     threads: Option<usize>,
     dir: Option<DirectionParams>,
-    graphs: Vec<(String, Arc<Graph>)>,
+    graphs: Vec<(String, GraphStore, Option<usize>)>,
 }
 
 impl ServiceBuilder {
@@ -178,27 +379,45 @@ impl ServiceBuilder {
         self
     }
 
-    /// Registers a graph under `name`.
+    /// Registers a graph under `name` — a [`Graph`], a
+    /// [`CsrCompressed`], or an `Arc` of either.
     ///
     /// # Panics
     /// If `name` is already registered (two tenants silently sharing a
     /// name is a deployment bug; post-build [`Service::add_graph`] is
     /// the intentional-replacement path).
-    pub fn add_graph(self, name: impl Into<String>, graph: Graph) -> Self {
-        self.add_graph_shared(name, Arc::new(graph))
+    pub fn add_graph(self, name: impl Into<String>, graph: impl Into<GraphStore>) -> Self {
+        self.push(name.into(), graph.into(), None)
+    }
+
+    /// [`Self::add_graph`] with an explicit resident-workspace byte
+    /// budget for the graph's checkout pool.
+    ///
+    /// # Panics
+    /// If `name` is already registered.
+    pub fn add_graph_with_budget(
+        self,
+        name: impl Into<String>,
+        graph: impl Into<GraphStore>,
+        budget_bytes: usize,
+    ) -> Self {
+        self.push(name.into(), graph.into(), Some(budget_bytes))
     }
 
     /// [`Self::add_graph`] for graphs the caller also keeps.
     ///
     /// # Panics
     /// If `name` is already registered.
-    pub fn add_graph_shared(mut self, name: impl Into<String>, graph: Arc<Graph>) -> Self {
-        let name = name.into();
+    pub fn add_graph_shared(self, name: impl Into<String>, graph: Arc<Graph>) -> Self {
+        self.add_graph(name, graph)
+    }
+
+    fn push(mut self, name: String, store: GraphStore, budget: Option<usize>) -> Self {
         assert!(
-            !self.graphs.iter().any(|(n, _)| *n == name),
+            !self.graphs.iter().any(|(n, _, _)| *n == name),
             "graph {name:?} registered twice"
         );
-        self.graphs.push((name, graph));
+        self.graphs.push((name, store, budget));
         self
     }
 
@@ -216,8 +435,8 @@ impl ServiceBuilder {
             dir: self.dir,
             graphs: Vec::new(),
         };
-        for (name, graph) in self.graphs {
-            svc.add_graph_shared(name, graph);
+        for (name, store, budget) in self.graphs {
+            svc.insert(name, store, budget);
         }
         svc
     }
@@ -268,7 +487,7 @@ mod tests {
             assert_eq!(engine.num_threads(), 2);
             let got = engine.run(&q);
             let pool = Pool::new(2);
-            let want = find_cluster(&pool, svc.graph(name).unwrap(), &q.seed, &q.algo);
+            let want = find_cluster(&pool, svc.graph(name).unwrap().as_ref(), &q.seed, &q.algo);
             assert_eq!(got.cluster, want.cluster, "{name}");
             assert_eq!(got.conductance, want.conductance);
         }

@@ -62,7 +62,10 @@ pub(crate) fn sweep_order_cmp(a: &(u32, f64), b: &(u32, f64)) -> Ordering {
 /// Filters a diffusion vector down to sweep-eligible entries:
 /// positive mass and positive degree (an isolated vertex has no defined
 /// `p/d` and cannot change any cut).
-pub(crate) fn eligible_entries(g: &lgc_graph::Graph, p: &[(u32, f64)]) -> Vec<(u32, f64)> {
+pub(crate) fn eligible_entries<B: lgc_graph::CsrBackend>(
+    g: &B,
+    p: &[(u32, f64)],
+) -> Vec<(u32, f64)> {
     p.iter()
         .filter(|&&(v, m)| m > 0.0 && g.degree(v) > 0)
         .map(|&(v, m)| (v, m / g.degree(v) as f64))

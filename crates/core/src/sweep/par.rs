@@ -18,7 +18,7 @@
 
 use super::{eligible_entries, prefix_conductance, sweep_order_cmp, SweepCut};
 use crate::engine::Workspace;
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_parallel::{
     counting_sort_by_key, filter_map_index, map_index, max_by, merge_sort_by, scan_exclusive,
     scan_inclusive, Pool, UnsafeSlice,
@@ -30,7 +30,7 @@ use lgc_sparse::ConcurrentRankMap;
 /// Returns results bit-identical to [`super::sweep_cut_seq`]: the same
 /// deterministic sort order, integer crossing-edge counts, and float
 /// conductances computed from identical operands.
-pub fn sweep_cut_par(pool: &Pool, g: &Graph, p: &[(u32, f64)]) -> SweepCut {
+pub fn sweep_cut_par<B: CsrBackend>(pool: &Pool, g: &B, p: &[(u32, f64)]) -> SweepCut {
     sweep_cut_par_ws(pool, g, p, &mut Workspace::new())
 }
 
@@ -42,9 +42,9 @@ pub fn sweep_cut_par(pool: &Pool, g: &Graph, p: &[(u32, f64)]) -> SweepCut {
 /// All of it is bit-invisible: rank lookups are keyed, never enumerated
 /// (a kept-larger or pre-sized table cannot change any output bit), and
 /// cached degrees are the same integers as the CSR offsets.
-pub(crate) fn sweep_cut_par_ws(
+pub(crate) fn sweep_cut_par_ws<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     p: &[(u32, f64)],
     ws: &mut Workspace,
 ) -> SweepCut {
@@ -102,10 +102,10 @@ pub(crate) fn sweep_cut_par_ws(
             while f < fe {
                 let v = order_ref[vi];
                 let rv = (vi + 1) as u32;
-                let nbrs = g.neighbors(v);
                 let local = f - edge_offsets[vi] as usize;
-                let upto = nbrs.len().min(local + (fe - f));
-                for (j, &w) in nbrs[local..upto].iter().enumerate() {
+                let upto = g.degree(v).min(local + (fe - f));
+                let mut j = 0;
+                g.for_each_neighbor_in(v, local, upto, |w| {
                     let rw = rank_ref.get(w).unwrap_or(outside_rank);
                     let pos = 2 * (f + j);
                     let (a, b) = if rw > rv {
@@ -119,7 +119,8 @@ pub(crate) fn sweep_cut_par_ws(
                         zs.write(pos, std::mem::MaybeUninit::new(a));
                         zs.write(pos + 1, std::mem::MaybeUninit::new(b));
                     }
-                }
+                    j += 1;
+                });
                 f += upto - local;
                 vi += 1;
             }

@@ -2,7 +2,7 @@
 //! `∂(S)` while inserting vertices in order (§3.1's sequential algorithm).
 
 use super::{eligible_entries, prefix_conductance, sweep_order_cmp, SweepCut};
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_sparse::SparseMap;
 
 /// Computes the sweep cut of `p` sequentially.
@@ -10,7 +10,7 @@ use lgc_sparse::SparseMap;
 /// `O(N log N)` for the sort plus `O(vol(S_N))` for the incremental
 /// boundary maintenance, using a sparse membership set so the work stays
 /// local (never `O(|V|)`).
-pub fn sweep_cut_seq(g: &Graph, p: &[(u32, f64)]) -> SweepCut {
+pub fn sweep_cut_seq<B: CsrBackend>(g: &B, p: &[(u32, f64)]) -> SweepCut {
     let mut scored = eligible_entries(g, p);
     if scored.is_empty() {
         return SweepCut::empty();
@@ -29,13 +29,13 @@ pub fn sweep_cut_seq(g: &Graph, p: &[(u32, f64)]) -> SweepCut {
         vol += g.degree(v) as u64;
         // Each edge (v, w): if w already in S it was counted as crossing
         // when w entered — it becomes internal now; otherwise it crosses.
-        for &w in g.neighbors(v) {
+        g.for_each_neighbor(v, |w| {
             if members.get(w) {
                 crossing -= 1;
             } else {
                 crossing += 1;
             }
-        }
+        });
         members.set(v, true);
         let phi = prefix_conductance(crossing, vol, total_degree);
         conductances.push(phi);

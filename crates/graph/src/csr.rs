@@ -96,6 +96,12 @@ impl Graph {
         self.boundary_size(set) as f64 / denom as f64
     }
 
+    /// Total resident bytes of the CSR arrays (offsets + adjacency).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.adj.len() * std::mem::size_of::<u32>()
+    }
+
     /// Maximum degree in the graph.
     pub fn max_degree(&self) -> usize {
         (0..self.num_vertices() as u32)

@@ -7,11 +7,13 @@
 //! Ligra's `AdjacencyGraph` format, and the synthetic generator suite
 //! standing in for the paper's evaluation graphs (see `DESIGN.md` §3).
 
+pub mod backend;
 mod components;
 mod csr;
 pub mod gen;
 pub mod io;
 pub mod stats;
 
+pub use backend::{CsrBackend, CsrCompressed, CsrPlain};
 pub use components::{connected_components, largest_component};
 pub use csr::{Graph, GraphBuilder};

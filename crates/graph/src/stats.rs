@@ -2,7 +2,36 @@
 //! the right family shape (power-law degrees for the social-graph
 //! substitutes, uniform degrees for the meshes; DESIGN.md §3).
 
+use crate::backend::CsrBackend;
 use crate::csr::Graph;
+
+/// Memory-footprint statistics of a graph backend — the axis the
+/// compressed CSR backend optimizes (serve more graph per box).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryStats {
+    /// Total resident bytes of the graph storage.
+    pub memory_bytes: usize,
+    /// Bytes held by the adjacency structure alone (the compressible part).
+    pub adjacency_bytes: usize,
+    /// Adjacency bytes per stored directed edge (`adjacency_bytes / 2m`);
+    /// 4.0 for plain CSR, typically 1–2 for byte-coded social graphs.
+    pub bytes_per_edge: f64,
+}
+
+/// Computes memory statistics for any [`CsrBackend`]. `O(1)`.
+pub fn memory_stats<B: CsrBackend>(g: &B) -> MemoryStats {
+    let adjacency_bytes = g.adjacency_bytes();
+    let entries = g.total_degree();
+    MemoryStats {
+        memory_bytes: g.memory_bytes(),
+        adjacency_bytes,
+        bytes_per_edge: if entries == 0 {
+            0.0
+        } else {
+            adjacency_bytes as f64 / entries as f64
+        },
+    }
+}
 
 /// Summary statistics of a graph's degree sequence.
 #[derive(Clone, Debug, PartialEq)]
@@ -128,6 +157,18 @@ mod tests {
     fn star_closes_no_wedge() {
         let g = gen::star(10);
         assert_eq!(clustering_coefficient_sampled(&g, 500, 1), 0.0);
+    }
+
+    #[test]
+    fn memory_stats_plain_vs_compressed() {
+        let g = gen::rand_local(2000, 6, 2);
+        let plain = memory_stats(&g);
+        assert_eq!(plain.memory_bytes, g.memory_bytes());
+        assert_eq!(plain.adjacency_bytes, g.total_degree() * 4);
+        assert_eq!(plain.bytes_per_edge, 4.0);
+        let comp = memory_stats(&crate::CsrCompressed::from_graph(&g));
+        assert!(comp.bytes_per_edge < 2.0, "got {}", comp.bytes_per_edge);
+        assert!(comp.memory_bytes < plain.memory_bytes);
     }
 
     #[test]

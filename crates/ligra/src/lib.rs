@@ -53,7 +53,7 @@
 //! functions get the stronger single-writer-per-destination guarantee
 //! described above.
 
-use lgc_graph::Graph;
+use lgc_graph::CsrBackend;
 use lgc_parallel::{merge_sort_by, scan_exclusive, Bitset, Pool};
 
 /// A sparse subset of vertices (the paper's `vertexSubset`).
@@ -126,8 +126,14 @@ impl VertexSubset {
     /// Sum of degrees of the subset's vertices — the paper's
     /// `vol(frontier)`, which bounds the next iteration's work and is used
     /// to size the scratch sparse sets.
-    pub fn volume(&self, g: &Graph) -> usize {
+    pub fn volume<B: CsrBackend>(&self, g: &B) -> usize {
         self.ids.iter().map(|&v| g.degree(v)).sum()
+    }
+
+    /// Resident bytes of the id buffer (capacity, not length — what the
+    /// allocation actually holds).
+    pub fn resident_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -153,7 +159,12 @@ pub fn vertex_map(pool: &Pool, frontier: &VertexSubset, f: impl Fn(u32) + Sync) 
 /// Work `O(|frontier| + vol(frontier))`; the prefix sum over frontier
 /// degrees flattens the edge space so chunks of ~`grain` edges are
 /// distributed dynamically regardless of degree skew.
-pub fn edge_map(pool: &Pool, g: &Graph, frontier: &VertexSubset, f: impl Fn(u32, u32) + Sync) {
+pub fn edge_map<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    frontier: &VertexSubset,
+    f: impl Fn(u32, u32) + Sync,
+) {
     edge_map_indexed(pool, g, frontier, |_, src, dst| f(src, dst));
 }
 
@@ -174,9 +185,9 @@ const SMALL_FRONTIER: usize = 64;
 /// once per frontier vertex (`contrib[i] = coeff · r[ids[i]] / d(ids[i])`)
 /// and the per-edge work collapses to one slice load + one atomic add —
 /// no hash probe, no division, per edge.
-pub fn edge_map_indexed(
+pub fn edge_map_indexed<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     frontier: &VertexSubset,
     f: impl Fn(usize, u32, u32) + Sync,
 ) {
@@ -186,9 +197,7 @@ pub fn edge_map_indexed(
     }
     let seq = |ids: &[u32]| {
         for (i, &v) in ids.iter().enumerate() {
-            for &w in g.neighbors(v) {
-                f(i, v, w);
-            }
+            g.for_each_neighbor(v, |w| f(i, v, w));
         }
     };
     if pool.num_threads() == 1 {
@@ -217,12 +226,9 @@ pub fn edge_map_indexed(
         let mut edge_idx = es;
         while edge_idx < ee {
             let v = ids[vi];
-            let nbrs = g.neighbors(v);
             let local_start = edge_idx - offsets[vi];
-            let local_end = nbrs.len().min(local_start + (ee - edge_idx));
-            for &w in &nbrs[local_start..local_end] {
-                f(vi, v, w);
-            }
+            let local_end = g.degree(v).min(local_start + (ee - edge_idx));
+            g.for_each_neighbor_in(v, local_start, local_end, |w| f(vi, v, w));
             edge_idx += local_end - local_start;
             vi += 1;
         }
@@ -291,7 +297,7 @@ impl DirectionParams {
 
     /// Picks the direction for a frontier of `len` vertices and volume
     /// `vol` on `g`.
-    pub fn choose(&self, g: &Graph, len: usize, vol: usize) -> Direction {
+    pub fn choose<B: CsrBackend>(&self, g: &B, len: usize, vol: usize) -> Direction {
         match self.mode {
             DirectionMode::Push => Direction::Push,
             DirectionMode::Pull => Direction::Pull,
@@ -370,8 +376,14 @@ impl Frontier {
     }
 
     /// `vol(F) = Σ d(v)` over the members.
-    pub fn volume(&self, g: &Graph) -> usize {
+    pub fn volume<B: CsrBackend>(&self, g: &B) -> usize {
         self.subset.volume(g)
+    }
+
+    /// Resident bytes of the frontier's buffers (id list plus the cached
+    /// dense bitset, if materialized).
+    pub fn resident_bytes(&self) -> usize {
+        self.subset.resident_bytes() + self.bits.as_ref().map_or(0, Bitset::resident_bytes)
     }
 
     /// The dense view over universe `0..n`, building it on first use
@@ -428,16 +440,21 @@ const DENSE_GRAIN: usize = 512;
 /// only (no atomics) and the result is bitwise deterministic across
 /// thread counts. Covers exactly the same edge set as
 /// [`edge_map`] over the equivalent sparse frontier.
-pub fn edge_map_dense(pool: &Pool, g: &Graph, frontier: &Bitset, f: impl Fn(u32, u32) + Sync) {
+pub fn edge_map_dense<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    frontier: &Bitset,
+    f: impl Fn(u32, u32) + Sync,
+) {
     let n = g.num_vertices();
     debug_assert_eq!(frontier.universe(), n, "bitset universe must be n");
     pool.run(n, DENSE_GRAIN, |s, e| {
         for dst in s as u32..e as u32 {
-            for &src in g.neighbors(dst) {
+            g.for_each_neighbor(dst, |src| {
                 if frontier.contains(src) {
                     f(src, dst);
                 }
-            }
+            });
         }
     });
 }
@@ -452,9 +469,9 @@ pub fn edge_map_dense(pool: &Pool, g: &Graph, frontier: &Bitset, f: impl Fn(u32,
 /// RMW per edge. `contrib` is indexed by vertex id (entries outside the
 /// frontier are never read). Same determinism guarantee as
 /// [`edge_map_dense`].
-pub fn edge_map_dense_gather(
+pub fn edge_map_dense_gather<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     frontier: &Bitset,
     contrib: &[f64],
     apply: impl Fn(u32, f64) + Sync,
@@ -466,12 +483,12 @@ pub fn edge_map_dense_gather(
         for dst in s as u32..e as u32 {
             let mut acc = 0.0f64;
             let mut any = false;
-            for &src in g.neighbors(dst) {
+            g.for_each_neighbor(dst, |src| {
                 if frontier.contains(src) {
                     acc += contrib[src as usize];
                     any = true;
                 }
-            }
+            });
             if any {
                 apply(dst, acc);
             }
@@ -490,9 +507,9 @@ pub fn edge_map_dense_gather(
 /// `p(v, S) = ½·1[v ∈ S] + ½·|N(v) ∩ S|/d(v)`) direction-optimize
 /// without perturbing their random trajectory. Same single-writer
 /// guarantee as [`edge_map_dense`].
-pub fn edge_map_dense_count(
+pub fn edge_map_dense_count<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     frontier: &Bitset,
     apply: impl Fn(u32, u64) + Sync,
 ) {
@@ -501,9 +518,9 @@ pub fn edge_map_dense_count(
     pool.run(n, DENSE_GRAIN, |s, e| {
         for dst in s as u32..e as u32 {
             let mut count = 0u64;
-            for &src in g.neighbors(dst) {
+            g.for_each_neighbor(dst, |src| {
                 count += u64::from(frontier.contains(src));
-            }
+            });
             if count > 0 {
                 apply(dst, count);
             }
@@ -518,9 +535,9 @@ pub fn edge_map_dense_count(
 /// `f` must tolerate both calling conventions: concurrent per-edge calls
 /// (push — synchronize with atomics) and single-writer-per-destination
 /// calls (pull). Commutative atomic accumulation satisfies both.
-pub fn edge_map_dir(
+pub fn edge_map_dir<B: CsrBackend>(
     pool: &Pool,
-    g: &Graph,
+    g: &B,
     frontier: &mut Frontier,
     params: &DirectionParams,
     f: impl Fn(u32, u32) + Sync,
@@ -786,7 +803,7 @@ mod tests {
             (&with_isolated, vec![10, 20, 30]),
             (&with_isolated, vec![1, 10, 45]),
         ];
-        for (g, ids) in &cases {
+        for &(g, ref ids) in &cases {
             let subset = VertexSubset::from_sorted(ids.clone());
             let ref_pool = Pool::new(1);
             let want = trace_with(g, |f| edge_map(&ref_pool, g, &subset, f));

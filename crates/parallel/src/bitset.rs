@@ -46,6 +46,11 @@ impl Bitset {
         self.n
     }
 
+    /// Resident bytes of the word array.
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<AtomicU64>()
+    }
+
     /// Whether `v` is in the set (safe during a write phase that only
     /// *adds* members; relaxed — phase boundaries provide ordering).
     #[inline]

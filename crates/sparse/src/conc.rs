@@ -60,6 +60,11 @@ impl ConcurrentSparseVec {
         self.mask + 1
     }
 
+    /// Resident bytes of the key and value arrays.
+    pub fn resident_bytes(&self) -> usize {
+        self.capacity() * (std::mem::size_of::<AtomicU32>() + std::mem::size_of::<AtomicU64>())
+    }
+
     /// Finds the slot holding `key`, or claims an empty one for it.
     /// Lock-free: at most `capacity` probes (panics if the table is full,
     /// which sized-by-bound callers never trigger).
@@ -312,6 +317,11 @@ impl ConcurrentRankMap {
     /// Number of slots (twice the supported key count).
     pub fn capacity(&self) -> usize {
         self.mask + 1
+    }
+
+    /// Resident bytes of the key and value arrays.
+    pub fn resident_bytes(&self) -> usize {
+        self.capacity() * 2 * std::mem::size_of::<AtomicU32>()
     }
 
     /// Packs the distinct keys present, in parallel (slot order).

@@ -70,6 +70,14 @@ impl DenseMassVec {
         self.vals.len()
     }
 
+    /// Resident bytes of the value, touched, and dirty arrays.
+    fn resident_bytes(&self) -> usize {
+        self.universe()
+            * (std::mem::size_of::<AtomicU64>()
+                + std::mem::size_of::<AtomicU8>()
+                + std::mem::size_of::<AtomicU32>())
+    }
+
     fn len(&self) -> usize {
         self.dirty_len.load(Ordering::Acquire)
     }
@@ -224,6 +232,20 @@ impl MassMap {
     /// The vertex-universe size `n` fixed at construction.
     pub fn universe(&self) -> usize {
         self.n
+    }
+
+    /// Resident bytes of the current store plus any stashed dense
+    /// buffers — what a workspace byte budget charges for this map.
+    pub fn resident_bytes(&self) -> usize {
+        let store = match &self.store {
+            MassStore::Sparse(s) => s.resident_bytes(),
+            MassStore::Dense(d) => d.resident_bytes(),
+        };
+        store
+            + self
+                .spare_dense
+                .as_ref()
+                .map_or(0, DenseMassVec::resident_bytes)
     }
 
     /// Number of distinct keys present.

@@ -69,7 +69,10 @@ fn main() {
         let parts: Vec<&str> = line.split_whitespace().collect();
         let t0 = Instant::now();
         let engine = service.engine(&active).expect("active graph registered");
-        let g = engine.graph();
+        let g = service
+            .graph(&active)
+            .expect("interactive graphs use the plain backend")
+            .as_ref();
         // Parsed command → one engine query (None for non-query commands).
         let query: Option<Query> = match parts.as_slice() {
             [] => continue,

@@ -10,7 +10,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use plgc::{Algorithm, Engine, HkprParams, PrNibbleParams, Query, Seed};
+use plgc::{Algorithm, CsrBackend, CsrCompressed, Engine, HkprParams, PrNibbleParams, Query, Seed};
 
 fn main() {
     // Two 20-cliques joined by a single bridge edge: the left clique is a
@@ -48,9 +48,32 @@ fn main() {
     // A second query — different algorithm, same engine: the mass
     // arenas, frontier bitsets, and sweep scratch are recycled, and the
     // result is bit-identical to a cold run.
-    let hk = engine.run(&Query::new(seed, Algorithm::Hkpr(HkprParams::default())));
+    let hk = engine.run(&Query::new(
+        seed.clone(),
+        Algorithm::Hkpr(HkprParams::default()),
+    ));
     let mut members = hk.cluster.clone();
     members.sort_unstable();
     assert_eq!(members, (0..20).collect::<Vec<u32>>());
     println!("=> HK-PR over the warm engine agrees");
+
+    // The engine is generic over the storage backend: the same queries
+    // run unchanged over the byte-compressed CSR (delta + varint
+    // adjacency), trading decode work for a smaller cache footprint.
+    // Decoding preserves ascending neighbor order, so results match the
+    // plain backend bit for bit. A workspace byte budget caps how much
+    // scratch memory the engine may keep parked between queries.
+    let compact = CsrCompressed::from_graph(&g);
+    println!(
+        "compressed adjacency: {} bytes vs {} plain",
+        compact.adjacency_bytes(),
+        g.adjacency_bytes()
+    );
+    let packed = Engine::builder(&compact)
+        .workspace_budget(16 << 20) // keep at most 16 MiB of warm scratch
+        .build();
+    let hk2 = packed.run(&Query::new(seed, Algorithm::Hkpr(HkprParams::default())));
+    assert_eq!(hk2.diffusion.p, hk.diffusion.p);
+    assert_eq!(hk2.cluster, hk.cluster);
+    println!("=> compressed backend is bit-identical");
 }

@@ -11,6 +11,11 @@
 //! the end the server prints per-tenant traffic, latency percentiles,
 //! and cache/workspace observability counters.
 //!
+//! Tenants also pick their storage/memory trade-offs: the big "social"
+//! graph is stored on the byte-compressed CSR backend (same bits out,
+//! fewer bytes resident), and the "mesh" tenant caps its warm workspace
+//! pool with an explicit byte budget.
+//!
 //! ```sh
 //! cargo run --release --example server
 //! ```
@@ -58,19 +63,28 @@ fn main() {
     // One pool for the whole process, machine-sized.
     let pool = Pool::shared(std::thread::available_parallelism().map_or(1, |n| n.get()));
     let (sbm, _) = plgc::graph::gen::sbm(&[100; 8], 0.15, 0.002, 3);
+    // The biggest tenant stores its adjacency byte-compressed; queries
+    // over it return the same bits as plain CSR.
+    let social = plgc::CsrCompressed::from_graph(&plgc::graph::gen::rmat_graph500(12, 8, 7));
     let service = Service::builder()
         .pool(pool)
-        .add_graph("social", plgc::graph::gen::rmat_graph500(12, 8, 7))
+        .add_graph("social", social)
         .add_graph("communities", sbm)
-        .add_graph("mesh", plgc::graph::gen::rand_local(4_000, 6, 1))
+        // An explicit workspace byte budget: at most 8 MiB of scratch
+        // stays parked (or in flight via `try_run`) for this tenant.
+        .add_graph_with_budget("mesh", plgc::graph::gen::rand_local(4_000, 6, 1), 8 << 20)
         .build();
     let tenants: Vec<&str> = service.names().collect();
     println!("tenants:");
     for name in &tenants {
         let s = service.summary(name).unwrap();
         println!(
-            "  {name:<12} {:>6} vertices {:>8} edges (max degree {})",
-            s.num_vertices, s.num_edges, s.max_degree
+            "  {name:<12} {:>6} vertices {:>8} edges (max degree {}) — {} graph bytes, {:.2} adjacency B/edge",
+            s.num_vertices,
+            s.num_edges,
+            s.max_degree,
+            s.memory_bytes,
+            s.adjacency_bytes as f64 / (2 * s.num_edges).max(1) as f64
         );
     }
     println!(

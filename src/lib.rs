@@ -92,11 +92,44 @@
 //! | `prnibble_par(&pool, &g, &seed, &p)` | `engine.diffuse(&seed, &Algorithm::PrNibble(p))` |
 //! | `nibble_par` / `hkpr_par` / `rand_hkpr_par` | `engine.diffuse(&seed, &Algorithm::…(p))` |
 //! | `evolving_set_par(&pool, &g, &seed, &p)` | `engine.run(&Query::new(seed, Algorithm::Evolving(p)))` |
-//! | `batch_prnibble(&pool, &g, &queries)` *(deprecated)* | `engine.run_batch(&queries)` (any algorithm mix) |
 //! | `ncp_prnibble(&pool, &g, &params)` | `engine.ncp(&params)` |
 //!
 //! The free functions remain available as thin wrappers (each runs the
 //! identical code path over a fresh, throwaway workspace).
+//!
+//! # Storage backends and memory budgets
+//!
+//! Graph storage is pluggable behind the [`CsrBackend`] trait: plain CSR
+//! ([`Graph`], one `u32` per directed edge) or byte-compressed CSR
+//! ([`CsrCompressed`], Ligra+-style delta + varint coding decoded inside
+//! the traversal kernels — typically 2–3× fewer adjacency bytes on
+//! power-law graphs). Every engine and service query is bit-identical
+//! across backends; both decode neighbors in ascending order, so even
+//! the dense-pull traversals stay deterministic. Per-graph scratch is
+//! bounded in bytes, not workspace counts: each graph's checkout pool
+//! has a byte budget (default 4× the graph, clamped to
+//! `[32 MiB, 1 GiB]`), and `try_run` surfaces budget exhaustion as a
+//! typed [`WorkspaceBudgetExceeded`] back-pressure error while plain
+//! `run` degrades to transient scratch:
+//!
+//! ```
+//! use plgc::{Algorithm, CsrCompressed, PrNibbleParams, Query, Seed, Service};
+//!
+//! let g = plgc::graph::gen::two_cliques_bridge(16);
+//! let compact = CsrCompressed::from_graph(&g);
+//! let mut service = Service::builder()
+//!     .threads(2)
+//!     .add_graph("plain", g)               // plain CSR backend
+//!     .add_graph("compact", compact)       // byte-compressed backend
+//!     .build();
+//! // Explicit workspace byte budget for a memory-tight tenant:
+//! service.add_graph_with_budget("tiny", plgc::graph::gen::cycle(64), 8 << 20);
+//! let q = Query::new(Seed::single(0), Algorithm::PrNibble(PrNibbleParams::default()));
+//! let a = service.engine("plain").unwrap().run(&q);
+//! let b = service.engine("compact").unwrap().run(&q);
+//! assert_eq!(a.cluster, b.cluster); // bit-identical across backends
+//! assert!(service.engine("tiny").unwrap().try_run(&q).is_ok());
+//! ```
 //!
 //! # Workspace layout
 //!
@@ -117,15 +150,14 @@ pub use lgc_ligra as ligra;
 pub use lgc_parallel as parallel;
 pub use lgc_sparse as sparse;
 
-#[allow(deprecated)] // re-exported for migration; see the item's note
-pub use lgc_core::batch_prnibble;
 pub use lgc_core::{
     evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq, ncp_prnibble, nibble_par,
     nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq, rand_hkpr_par, rand_hkpr_seq,
     run_batch, sweep_cut_par, sweep_cut_seq, Algorithm, ClusterResult, Diffusion, Direction,
     DirectionMode, DirectionParams, Engine, EngineBuilder, EngineHandle, EvolvingParams,
-    GraphCache, GraphSummary, HkprParams, LocalDiffusion, NcpParams, NibbleParams, PrNibbleParams,
-    PushRule, Query, RandHkprParams, Seed, Service, ServiceBuilder, SweepCut, Workspace,
+    GraphCache, GraphStore, GraphSummary, HkprParams, LocalDiffusion, NcpParams, NibbleParams,
+    PrNibbleParams, PushRule, Query, RandHkprParams, Seed, Service, ServiceBuilder, ServiceEngine,
+    SweepCut, Workspace, WorkspaceBudgetExceeded,
 };
-pub use lgc_graph::{Graph, GraphBuilder};
+pub use lgc_graph::{CsrBackend, CsrCompressed, CsrPlain, Graph, GraphBuilder};
 pub use lgc_parallel::Pool;

@@ -168,6 +168,69 @@ proptest! {
         }
     }
 
+    /// Backend equivalence, same exactness tiers as warm-vs-cold: every
+    /// diffusion over the byte-compressed CSR backend matches plain CSR
+    /// — bitwise at 1 thread (and at any thread count for the
+    /// integer/RNG-exact algorithms), tight ℓ₁ for the float pushes at
+    /// >1 threads (where even two plain runs differ in ulps).
+    #[test]
+    fn compressed_backend_matches_plain(
+        (g, seeds) in small_graph(),
+        specs in query_specs(),
+        threads in 1usize..=4,
+    ) {
+        let c = plgc::CsrCompressed::from_graph(&g);
+        let plain = Engine::builder(&g).threads(threads).build();
+        let packed = Engine::builder(&c).pool(Pool::new(threads)).build();
+        for (kind, si, tweak) in specs {
+            let seed = Seed::single(seeds[si % seeds.len()]);
+            let algo = make_algo(kind, tweak);
+            let q = Query::new(seed, algo);
+            let a = plain.run(&q);
+            let b = packed.run(&q);
+            if threads == 1 || exact_at_any_threads(&q.algo) {
+                prop_assert_eq!(&a.diffusion.p, &b.diffusion.p, "{:?}", q.algo);
+                prop_assert_eq!(a.diffusion.stats, b.diffusion.stats);
+                prop_assert_eq!(&a.cluster, &b.cluster);
+                prop_assert_eq!(a.conductance, b.conductance);
+                prop_assert_eq!(&a.sweep.conductances, &b.sweep.conductances);
+            } else {
+                prop_assert!(l1_distance(&a.diffusion, &b.diffusion) < 1e-9);
+                prop_assert!((a.conductance - b.conductance).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// With the traversal pinned to dense pulls, every destination sums
+    /// its sources sequentially in ascending order — so compressed vs
+    /// plain is *bitwise* identical at any thread count (the decode
+    /// order guarantee the compressed backend exists to preserve).
+    #[test]
+    fn pull_pinned_queries_are_bitwise_equal_across_backends(
+        (g, seeds) in small_graph(),
+        specs in query_specs(),
+        threads in 1usize..=4,
+    ) {
+        let c = plgc::CsrCompressed::from_graph(&g);
+        let pin = plgc::DirectionParams::pull_only();
+        let plain = Engine::builder(&g).threads(threads).direction(pin).build();
+        let packed = Engine::builder(&c)
+            .pool(Pool::new(threads))
+            .direction(pin)
+            .build();
+        for (kind, si, tweak) in specs {
+            let seed = Seed::single(seeds[si % seeds.len()]);
+            let q = Query::new(seed, make_algo(kind, tweak));
+            let a = plain.run(&q);
+            let b = packed.run(&q);
+            prop_assert_eq!(&a.diffusion.p, &b.diffusion.p, "{:?}", q.algo);
+            prop_assert_eq!(a.diffusion.stats, b.diffusion.stats);
+            prop_assert_eq!(&a.cluster, &b.cluster);
+            prop_assert_eq!(a.conductance, b.conductance);
+            prop_assert_eq!(&a.sweep.conductances, &b.sweep.conductances);
+        }
+    }
+
     /// Batch contract: every item of a mixed-algorithm batch is
     /// bit-identical to a 1-thread engine run of the same query, at any
     /// batch pool size.

@@ -152,7 +152,7 @@ proptest! {
         // Every answer matches its cold twin bit-for-bit.
         for (gi, q, got) in answered {
             let g = svc.graph(names[gi]).unwrap();
-            let engine = Engine::builder(g).threads(1).build();
+            let engine = Engine::builder(g.as_ref()).threads(1).build();
             let want = engine.run(&q);
             prop_assert_eq!(&got.diffusion.p, &want.diffusion.p, "{:?}", q.algo);
             prop_assert_eq!(got.diffusion.stats, want.diffusion.stats);
@@ -200,7 +200,7 @@ proptest! {
             });
         for (gi, q, got) in answered {
             let g = svc.graph(names[gi]).unwrap();
-            let cold = lgc::find_cluster(&Pool::new(2), g, &q.seed, &q.algo);
+            let cold = lgc::find_cluster(&Pool::new(2), g.as_ref(), &q.seed, &q.algo);
             if exact_at_any_threads(&q.algo) {
                 prop_assert_eq!(&got.diffusion.p, &cold.diffusion.p);
                 prop_assert_eq!(&got.cluster, &cold.cluster);
@@ -248,6 +248,50 @@ proptest! {
     }
 }
 
+/// An exhausted per-graph workspace byte budget surfaces as the typed
+/// [`plgc::WorkspaceBudgetExceeded`] error from `try_run` — never a
+/// panic — while the infallible `run` path keeps answering (on a
+/// transient, unpooled workspace) bit-identically to a cold engine.
+#[test]
+fn exhausted_workspace_budget_is_a_typed_error_not_a_panic() {
+    let g = plgc::graph::gen::rand_local(200, 4, 7);
+    let mut svc = Service::builder().pool(Pool::shared(1)).build();
+    svc.add_graph_with_budget("tiny", g.clone(), 1);
+    let q = Query::new(
+        Seed::single(0),
+        Algorithm::PrNibble(lgc::PrNibbleParams::default()),
+    );
+    // The pool has never parked a workspace, so the first fresh checkout
+    // is charged at the zero watermark and succeeds even under a 1-byte
+    // budget...
+    let first = svc
+        .engine("tiny")
+        .unwrap()
+        .try_run(&q)
+        .expect("zero watermark");
+    // ...but restoring it recorded its true footprint, so the next
+    // budgeted checkout is denied — with the numbers, not a panic.
+    let err = svc.engine("tiny").unwrap().try_run(&q).unwrap_err();
+    assert_eq!(err.budget_bytes, 1);
+    assert_eq!(err.in_flight_bytes, 0);
+    assert!(
+        err.requested_bytes > 1,
+        "watermark learned from the restore"
+    );
+    assert!(err.to_string().contains("budget"));
+    // The infallible front door degrades to a transient workspace and
+    // stays bitwise equal to a cold engine.
+    let again = svc.engine("tiny").unwrap().run(&q);
+    let cold = Engine::builder(&g).threads(1).build().run(&q);
+    assert_eq!(first.diffusion.p, cold.diffusion.p);
+    assert_eq!(again.diffusion.p, cold.diffusion.p);
+    assert_eq!(again.cluster, cold.cluster);
+    // A roomy budget never denies this workload.
+    svc.add_graph_with_budget("roomy", g.clone(), 1 << 30);
+    assert!(svc.engine("roomy").unwrap().try_run(&q).is_ok());
+    assert!(svc.engine("roomy").unwrap().try_run(&q).is_ok());
+}
+
 /// Service survives being shared the boring way too: behind an `Arc`,
 /// queried from detached threads, with warm workspaces accumulating.
 #[test]
@@ -264,7 +308,7 @@ fn arc_shared_service_across_spawned_threads() {
                     Algorithm::PrNibble(lgc::PrNibbleParams::default()),
                 );
                 let got = engine.run(&q);
-                let cold = Engine::builder(svc.graph(name).unwrap())
+                let cold = Engine::builder(svc.graph(name).unwrap().as_ref())
                     .threads(1)
                     .build()
                     .run(&q);
@@ -287,7 +331,7 @@ fn arc_shared_service_across_spawned_threads() {
                 Algorithm::Nibble(lgc::NibbleParams::default()),
             );
             let got = e.run(&q);
-            let cold = Engine::builder(svc.graph(n).unwrap())
+            let cold = Engine::builder(svc.graph(n).unwrap().as_ref())
                 .threads(1)
                 .build()
                 .run(&q);
