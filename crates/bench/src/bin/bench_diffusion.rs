@@ -39,6 +39,15 @@
 //! both backends (`pull_plain{t}_s` / `pull_comp{t}_s`), isolating the
 //! per-edge decode overhead the shrink costs.
 //!
+//! The `robustness` section prices the query-lifecycle machinery: the
+//! same warm high-volume PR-Nibble query through the infallible `run`
+//! (`plain{t}_s`) vs the governed `try_run` under a fully-armed but
+//! generous budget — deadline, both work caps, and a cancellation token
+//! all set, none tripping, so every iteration boundary pays the full
+//! checkpoint *and* the admission/counter bookkeeping
+//! (`guarded{t}_s`). `guard_overhead{t}` = guarded/plain; the
+//! acceptance bar is ≤ 1.02× on every row.
+//!
 //! The emitter keeps each result object on its own line; the `--baseline`
 //! reader relies on that line discipline instead of a JSON parser (the
 //! container has no serde).
@@ -137,6 +146,32 @@ impl CompRow {
         }
         for ((t, comp), plain) in THREADS.iter().zip(self.pull_comp_s).zip(self.pull_plain_s) {
             let _ = write!(s, ", \"pull_overhead{t}\": {:.3}", comp / plain);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// One `robustness` measurement: the budget-check overhead on the
+/// serving path, per graph.
+struct RobustRow {
+    graph: String,
+    plain_s: [f64; THREADS.len()],
+    guarded_s: [f64; THREADS.len()],
+}
+
+impl RobustRow {
+    fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "    {{\"graph\": \"{}\"", self.graph);
+        for (t, secs) in THREADS.iter().zip(self.plain_s) {
+            let _ = write!(s, ", \"plain{t}_s\": {secs:.6}");
+        }
+        for (t, secs) in THREADS.iter().zip(self.guarded_s) {
+            let _ = write!(s, ", \"guarded{t}_s\": {secs:.6}");
+        }
+        for ((t, guarded), plain) in THREADS.iter().zip(self.guarded_s).zip(self.plain_s) {
+            let _ = write!(s, ", \"guard_overhead{t}\": {:.3}", guarded / plain);
         }
         s.push('}');
         s
@@ -305,7 +340,12 @@ impl Row {
     }
 }
 
-fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> (Vec<Row>, SvcRow) {
+fn bench_graph(
+    sg: &SuiteGraph,
+    pools: &[Pool],
+    reps: usize,
+    quick: bool,
+) -> (Vec<Row>, SvcRow, RobustRow) {
     let g = &sg.graph;
     let seed = Seed::single(suite_seed(g));
     let mut rows = Vec::new();
@@ -494,7 +534,45 @@ fn bench_graph(sg: &SuiteGraph, pools: &[Pool], reps: usize, quick: bool) -> (Ve
         svc_s,
         queries: SMALL_BATCH,
     };
-    (rows, svc_row)
+
+    // The price of being governed: same warm engines, same high-volume
+    // PR-Nibble query, once through the infallible `run` and once
+    // through `try_run` under a budget with every limit armed (but
+    // generous enough never to trip — completed runs stay bit-identical,
+    // so `unwrap` here doubles as a correctness check).
+    let plain_q = lgc::Query::new(seed.clone(), lgc::Algorithm::PrNibble(pr));
+    let guarded_q = plain_q.clone().with_budget(
+        lgc::QueryBudget::unlimited()
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_max_pushed_mass_updates(u64::MAX / 2)
+            .with_max_edges_traversed(u64::MAX / 2)
+            .with_cancel(lgc::CancelToken::new()),
+    );
+    let mut plain_s = [0.0; THREADS.len()];
+    let mut guarded_s = [0.0; THREADS.len()];
+    for (i, _) in THREADS.iter().enumerate() {
+        engines[i].run(&plain_q); // re-prime after the batch workloads
+        let (_, secs) = time_best_of(reps.max(6), || {
+            engines[i].run(&plain_q);
+        });
+        plain_s[i] = secs;
+        let (_, secs) = time_best_of(reps.max(6), || {
+            engines[i].try_run(&guarded_q).unwrap();
+        });
+        guarded_s[i] = secs;
+    }
+    eprintln!(
+        "  {:<10} plain {:?}ms  guarded {:?}ms",
+        "guarded",
+        plain_s.map(|s| (s * 1e4).round() / 10.0),
+        guarded_s.map(|s| (s * 1e4).round() / 10.0)
+    );
+    let robust_row = RobustRow {
+        graph: sg.name.to_string(),
+        plain_s,
+        guarded_s,
+    };
+    (rows, svc_row, robust_row)
 }
 
 /// The 2-graph shared-pool throughput workload: one `Service` hosting
@@ -578,6 +656,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut svc_rows: Vec<SvcRow> = Vec::new();
     let mut comp_rows: Vec<CompRow> = Vec::new();
+    let mut robust_rows: Vec<RobustRow> = Vec::new();
     let mut benched: Vec<&SuiteGraph> = Vec::new();
     for sg in &graphs {
         if let Some(only) = &only {
@@ -591,9 +670,10 @@ fn main() {
             sg.graph.num_vertices(),
             sg.graph.num_edges()
         );
-        let (graph_rows, svc_row) = bench_graph(sg, &pools, reps, quick);
+        let (graph_rows, svc_row, robust_row) = bench_graph(sg, &pools, reps, quick);
         rows.extend(graph_rows);
         svc_rows.push(svc_row);
+        robust_rows.push(robust_row);
         comp_rows.push(bench_compression(sg, reps));
         benched.push(sg);
     }
@@ -692,6 +772,13 @@ fn main() {
     let _ = writeln!(json, "  \"compression\": [");
     let comp_lines: Vec<String> = comp_rows.iter().map(CompRow::to_json_line).collect();
     let _ = writeln!(json, "{}", comp_lines.join(",\n"));
+    json.push_str("  ],\n");
+    // The budget-check overhead on the serving path: fully-armed (but
+    // untripped) budget vs the infallible `run`, warm engines. The
+    // acceptance bar is `guard_overhead{t}` ≤ 1.02 on every row.
+    let _ = writeln!(json, "  \"robustness\": [");
+    let robust_lines: Vec<String> = robust_rows.iter().map(RobustRow::to_json_line).collect();
+    let _ = writeln!(json, "{}", robust_lines.join(",\n"));
     json.push_str("  ]");
     if let Some((path, base_rows)) = &baseline {
         json.push_str(",\n");

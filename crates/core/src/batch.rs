@@ -20,7 +20,8 @@
 //! parallel algorithms; the two modes compose the same primitives, so
 //! comparing them quantifies the paper's §1 trade-off on real hardware.
 
-use crate::engine::{run_query, Query, Workspace, WorkspacePool};
+use crate::budget::{InvalidSeed, QueryBudget, QueryError};
+use crate::engine::{run_query, try_run_query, Query, QueryGovernor, Workspace, WorkspacePool};
 use crate::result::ClusterResult;
 use lgc_graph::CsrBackend;
 use lgc_ligra::DirectionParams;
@@ -83,6 +84,104 @@ pub(crate) fn run_batch_shared<B: CsrBackend>(
                     None => q.algo.clone(),
                 };
                 let result = run_query(&sub, g, &mut ws, &q.seed, &algo);
+                // SAFETY: each query index is written exactly once.
+                unsafe { view.write(i, Some(result)) };
+            }
+            if let Some(p) = workspaces {
+                p.restore(ws);
+            }
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("every query executed"))
+        .collect()
+}
+
+/// The governed form of [`run_batch`]: every query is seed-validated
+/// and runs under its own [`QueryBudget`]
+/// (armed at that query's start inside its worker chunk), so one
+/// poisoned or oversized query fails alone with a typed [`QueryError`] —
+/// position-aligned with `queries` — while the rest of the batch
+/// completes. Successful items are bit-identical to [`run_batch`]'s.
+pub fn try_run_batch<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    queries: &[Query],
+) -> Vec<Result<ClusterResult, QueryError>> {
+    try_run_batch_shared(pool, g, queries, None, None, None)
+}
+
+/// [`try_run_batch`] with the engine's direction override, workspace
+/// checkout pool, and lifecycle counters (each `Some` when routed
+/// through an [`Engine`](crate::Engine) handle).
+pub(crate) fn try_run_batch_shared<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    queries: &[Query],
+    dir: Option<DirectionParams>,
+    workspaces: Option<&WorkspacePool>,
+    governor: Option<&QueryGovernor>,
+) -> Vec<Result<ClusterResult, QueryError>> {
+    use crate::engine::LocalDiffusion as _;
+    let n = queries.len();
+    let num_vertices = g.num_vertices();
+    let default_budget =
+        governor.map_or_else(QueryBudget::unlimited, |gv| gv.default_budget().clone());
+    let mut out: Vec<Option<Result<ClusterResult, QueryError>>> = (0..n).map(|_| None).collect();
+    {
+        let view = UnsafeSlice::new(&mut out);
+        let default_budget = &default_budget;
+        let grain = n.div_ceil(pool.num_threads() * 4).max(1);
+        pool.run(n, grain, |s, e| {
+            let sub = Pool::sequential();
+            let mut ws = match workspaces {
+                Some(p) => p.checkout(),
+                None => Workspace::new(),
+            };
+            #[allow(clippy::needless_range_loop)]
+            for i in s..e {
+                let q = &queries[i];
+                let result = if let Some(&v) = q
+                    .seed
+                    .vertices()
+                    .iter()
+                    .find(|&&v| v as usize >= num_vertices)
+                {
+                    if let Some(gv) = governor {
+                        gv.counters().note_invalid_seed();
+                    }
+                    Err(InvalidSeed {
+                        vertex: v,
+                        num_vertices,
+                    }
+                    .into())
+                } else {
+                    let algo = match dir {
+                        Some(d) => q.algo.with_direction(d),
+                        None => q.algo.clone(),
+                    };
+                    // Each query's budget clock starts at its own first
+                    // iteration, not at batch submission.
+                    let cp = q.budget.or(default_budget).checkpoint();
+                    if let Some(gv) = governor {
+                        gv.counters().note_admitted();
+                    }
+                    let t0 = std::time::Instant::now();
+                    match try_run_query(&sub, g, &mut ws, &q.seed, &algo, &cp) {
+                        Ok(res) => {
+                            if let Some(gv) = governor {
+                                gv.counters().note_completed(t0.elapsed());
+                            }
+                            Ok(res)
+                        }
+                        Err((trip, partial)) => {
+                            if let Some(gv) = governor {
+                                gv.counters().note_trip(trip);
+                            }
+                            Err(QueryError::from_trip(trip, partial))
+                        }
+                    }
+                };
                 // SAFETY: each query index is written exactly once.
                 unsafe { view.write(i, Some(result)) };
             }

@@ -1,0 +1,598 @@
+//! Query lifecycle: budgets, typed errors, partial results, and
+//! per-graph robustness counters.
+//!
+//! A [`QueryBudget`] bounds how long a single query may run — by wall
+//! clock, by deterministic work counters, or until a shared
+//! [`CancelToken`] flips. Budgets are carried on
+//! [`Query`](crate::Query) (per request) and on the engine (per-graph
+//! default via [`EngineBuilder::default_budget`](crate::EngineBuilder)
+//! or [`EngineLimits`]); per-query settings override the default
+//! field-wise. The diffusion loops, the sweep, NCP grid scans, and batch
+//! chunk loops check the budget **once per frontier iteration** (see
+//! [`lgc_ligra::interrupt`]) — never per edge — so the hot kernels are
+//! untouched and completed runs stay bit-identical to unbudgeted ones.
+//!
+//! When a limit trips, the fallible entry points
+//! ([`Engine::try_run`](crate::Engine::try_run),
+//! [`try_run_batch`](crate::Engine::try_run_batch)) return a
+//! [`QueryError`] carrying a [`PartialResult`]: the best-so-far sweep
+//! cut, the partial diffusion vector, and the work counters at the
+//! moment of the trip. The infallible [`run`](crate::Engine::run)
+//! ignores budgets entirely and keeps its run-to-completion semantics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use lgc_ligra::{CancelToken, Checkpoint, Trip};
+
+use crate::engine::WorkspaceBudgetExceeded;
+use crate::result::{Diffusion, DiffusionStats};
+use crate::sweep::SweepCut;
+
+#[cfg(feature = "fault-inject")]
+use lgc_ligra::FaultPlan;
+
+/// Optional per-query execution limits.
+///
+/// Every field defaults to "unlimited". The budget is evaluated
+/// cooperatively at iteration boundaries, so trips land on a *completed*
+/// iteration: work-budget trips are deterministic (the counters are
+/// bit-identical across thread counts and storage backends), while
+/// deadline and cancellation trips depend on wall clock / external
+/// timing by nature.
+#[derive(Clone, Debug, Default)]
+pub struct QueryBudget {
+    /// Wall-clock limit, measured from the moment the query starts
+    /// executing (admission time, not construction time).
+    pub deadline: Option<Duration>,
+    /// Cap on pushed mass updates ([`DiffusionStats::pushes`]).
+    pub max_pushed_mass_updates: Option<u64>,
+    /// Cap on traversed frontier edges
+    /// ([`DiffusionStats::edges_traversed`]).
+    pub max_edges_traversed: Option<u64>,
+    /// Cooperative cancellation: the query trips once any clone of the
+    /// token is [`cancel`](CancelToken::cancel)led.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault-injection plan (test harness; see
+    /// [`lgc_ligra::interrupt::FaultPlan`]).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<FaultPlan>,
+}
+
+impl QueryBudget {
+    /// No limits — equivalent to `QueryBudget::default()`.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Set a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap pushed mass updates.
+    pub fn with_max_pushed_mass_updates(mut self, cap: u64) -> Self {
+        self.max_pushed_mass_updates = Some(cap);
+        self
+    }
+
+    /// Cap traversed frontier edges.
+    pub fn with_max_edges_traversed(mut self, cap: u64) -> Self {
+        self.max_edges_traversed = Some(cap);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// `true` when no limit is set — the checkpoint this budget arms can
+    /// never trip.
+    pub fn is_unlimited(&self) -> bool {
+        let base = self.deadline.is_none()
+            && self.max_pushed_mass_updates.is_none()
+            && self.max_edges_traversed.is_none()
+            && self.cancel.is_none();
+        #[cfg(feature = "fault-inject")]
+        {
+            base && self.fault.is_none()
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            base
+        }
+    }
+
+    /// Field-wise override: take each limit from `self` when set, else
+    /// from `default`. This is how a per-query budget composes with the
+    /// engine's per-graph default.
+    pub fn or(&self, default: &QueryBudget) -> QueryBudget {
+        QueryBudget {
+            deadline: self.deadline.or(default.deadline),
+            max_pushed_mass_updates: self
+                .max_pushed_mass_updates
+                .or(default.max_pushed_mass_updates),
+            max_edges_traversed: self.max_edges_traversed.or(default.max_edges_traversed),
+            cancel: self.cancel.clone().or_else(|| default.cancel.clone()),
+            #[cfg(feature = "fault-inject")]
+            fault: self.fault.or(default.fault),
+        }
+    }
+
+    /// Arm the budget: converts the relative deadline into an absolute
+    /// instant (the clock starts *now*) and instantiates a fresh fault
+    /// countdown. Called once per query at admission.
+    pub(crate) fn checkpoint(&self) -> Checkpoint {
+        let mut cp = Checkpoint::unlimited();
+        if let Some(d) = self.deadline {
+            cp = cp.with_deadline_at(Instant::now() + d);
+        }
+        if let Some(cap) = self.max_pushed_mass_updates {
+            cp = cp.with_max_pushes(cap);
+        }
+        if let Some(cap) = self.max_edges_traversed {
+            cp = cp.with_max_edges(cap);
+        }
+        if let Some(token) = &self.cancel {
+            cp = cp.with_cancel(token.clone());
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = self.fault {
+            cp = cp.with_fault(plan);
+        }
+        cp
+    }
+}
+
+/// Per-graph engine limits, bundling everything
+/// [`Service::add_graph_with_limits`](crate::Service::add_graph_with_limits)
+/// can configure.
+#[derive(Clone, Debug, Default)]
+pub struct EngineLimits {
+    /// Workspace-pool byte budget (`None` = the 4×-graph-bytes default).
+    pub workspace_budget: Option<usize>,
+    /// Admission-control cap on concurrently executing `try_run` queries
+    /// (`None` = unbounded).
+    pub max_in_flight: Option<usize>,
+    /// Default [`QueryBudget`] applied to every query on this graph
+    /// (field-wise overridable per query).
+    pub default_budget: QueryBudget,
+}
+
+/// What a tripped query computed before it stopped.
+///
+/// The diffusion vector is whatever mass had been settled at the last
+/// completed iteration boundary (still a valid, sorted, non-negative
+/// sparse vector — just short of convergence), and `sweep` is the
+/// best-so-far cut obtained by sweeping that partial vector. `stats`
+/// counts only completed work, so callers can bill or log exactly what
+/// the query consumed.
+#[derive(Clone, Debug)]
+pub struct PartialResult {
+    /// The partial diffusion vector (`None` only if the trip happened
+    /// before any mass settled, e.g. an already-cancelled token).
+    pub diffusion: Option<Diffusion>,
+    /// Best-so-far sweep cut over the partial vector (`None` if the trip
+    /// happened inside the sweep itself, or nothing was worth sweeping).
+    pub sweep: Option<SweepCut>,
+    /// Work completed before the trip.
+    pub stats: DiffusionStats,
+}
+
+impl PartialResult {
+    /// Members of the best-so-far cut, if one was computed.
+    pub fn cluster(&self) -> Option<&[u32]> {
+        self.sweep.as_ref().map(|s| s.cluster())
+    }
+
+    /// Conductance of the best-so-far cut, if one was computed.
+    pub fn conductance(&self) -> Option<f64> {
+        self.sweep.as_ref().map(|s| s.best_conductance)
+    }
+}
+
+/// A diffusion stopped by its [`Checkpoint`] mid-run: why, plus the
+/// partial vector (the same shape a completed run returns, with stats
+/// covering only the completed iterations).
+#[derive(Clone, Debug)]
+pub struct TrippedDiffusion {
+    /// Why the checkpoint tripped.
+    pub trip: Trip,
+    /// Mass settled up to the last completed iteration boundary.
+    pub partial: Diffusion,
+}
+
+/// A seed vertex id that does not exist in the queried graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidSeed {
+    /// The offending vertex id.
+    pub vertex: u32,
+    /// Number of vertices in the graph (valid ids are `0..num_vertices`).
+    pub num_vertices: usize,
+}
+
+impl fmt::Display for InvalidSeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed vertex {} out of range for a graph with {} vertices",
+            self.vertex, self.num_vertices
+        )
+    }
+}
+
+impl std::error::Error for InvalidSeed {}
+
+/// The unified error surface of the fallible query entry points.
+///
+/// # Retryability
+///
+/// - [`Overloaded`](QueryError::Overloaded) and
+///   [`WorkspaceBudgetExceeded`](QueryError::WorkspaceBudgetExceeded)
+///   are **transient**: the same query can succeed once load drains
+///   (`Overloaded` carries a retry-after hint).
+/// - [`DeadlineExceeded`](QueryError::DeadlineExceeded) and
+///   [`WorkBudgetExceeded`](QueryError::WorkBudgetExceeded) are
+///   retryable **with a larger budget** — the partial result shows how
+///   far the original budget got.
+/// - [`Cancelled`](QueryError::Cancelled) and
+///   [`InvalidSeed`](QueryError::InvalidSeed) are not retryable as-is.
+#[derive(Clone, Debug)]
+pub enum QueryError {
+    /// The wall-clock deadline passed mid-run. (The partial is boxed to
+    /// keep the `Result`'s happy path small.)
+    DeadlineExceeded(Box<PartialResult>),
+    /// A work cap (pushed mass updates or traversed edges) was exceeded.
+    WorkBudgetExceeded(Box<PartialResult>),
+    /// The query's [`CancelToken`] was cancelled mid-run.
+    Cancelled(Box<PartialResult>),
+    /// A seed vertex id is out of range (rejected at admission — no work
+    /// was done).
+    InvalidSeed(InvalidSeed),
+    /// The workspace pool's byte budget could not admit another
+    /// checkout.
+    WorkspaceBudgetExceeded(WorkspaceBudgetExceeded),
+    /// Admission control shed the query: the per-graph in-flight cap is
+    /// full.
+    Overloaded {
+        /// Queries currently executing on this graph.
+        in_flight: usize,
+        /// The configured cap.
+        limit: usize,
+        /// Mean completed-query latency on this graph, as a hint for
+        /// when to retry (`None` before the first completion).
+        retry_after: Option<Duration>,
+    },
+}
+
+impl QueryError {
+    pub(crate) fn from_trip(trip: Trip, partial: Box<PartialResult>) -> Self {
+        match trip {
+            Trip::Deadline => QueryError::DeadlineExceeded(partial),
+            Trip::WorkBudget => QueryError::WorkBudgetExceeded(partial),
+            Trip::Cancelled => QueryError::Cancelled(partial),
+        }
+    }
+
+    /// The partial result, for the three mid-run trip variants.
+    pub fn partial(&self) -> Option<&PartialResult> {
+        match self {
+            QueryError::DeadlineExceeded(p)
+            | QueryError::WorkBudgetExceeded(p)
+            | QueryError::Cancelled(p) => Some(p.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Which [`Trip`] stopped the query, for the mid-run variants.
+    pub fn trip(&self) -> Option<Trip> {
+        match self {
+            QueryError::DeadlineExceeded(_) => Some(Trip::Deadline),
+            QueryError::WorkBudgetExceeded(_) => Some(Trip::WorkBudget),
+            QueryError::Cancelled(_) => Some(Trip::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// `true` for the transient load errors (`Overloaded`,
+    /// `WorkspaceBudgetExceeded`) that can succeed unchanged on retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            QueryError::Overloaded { .. } | QueryError::WorkspaceBudgetExceeded(_)
+        )
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::DeadlineExceeded(p) => write!(
+                f,
+                "query deadline exceeded after {} iterations ({} pushes, {} edges traversed)",
+                p.stats.iterations, p.stats.pushes, p.stats.edges_traversed
+            ),
+            QueryError::WorkBudgetExceeded(p) => write!(
+                f,
+                "query work budget exceeded after {} iterations ({} pushes, {} edges traversed)",
+                p.stats.iterations, p.stats.pushes, p.stats.edges_traversed
+            ),
+            QueryError::Cancelled(p) => write!(
+                f,
+                "query cancelled after {} iterations ({} pushes, {} edges traversed)",
+                p.stats.iterations, p.stats.pushes, p.stats.edges_traversed
+            ),
+            QueryError::InvalidSeed(e) => e.fmt(f),
+            QueryError::WorkspaceBudgetExceeded(e) => e.fmt(f),
+            QueryError::Overloaded {
+                in_flight,
+                limit,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "graph overloaded: {in_flight} queries in flight (limit {limit})"
+                )?;
+                if let Some(d) = retry_after {
+                    write!(f, "; retry after ~{d:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::InvalidSeed(e) => Some(e),
+            QueryError::WorkspaceBudgetExceeded(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkspaceBudgetExceeded> for QueryError {
+    fn from(e: WorkspaceBudgetExceeded) -> Self {
+        QueryError::WorkspaceBudgetExceeded(e)
+    }
+}
+
+impl From<InvalidSeed> for QueryError {
+    fn from(e: InvalidSeed) -> Self {
+        QueryError::InvalidSeed(e)
+    }
+}
+
+/// Per-graph robustness counters, maintained by the engine's fallible
+/// entry points and surfaced next to the [`GraphCache`](crate::engine)
+/// hit/miss stats.
+#[derive(Debug, Default)]
+pub struct LifecycleCounters {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed_overloaded: AtomicU64,
+    shed_workspace: AtomicU64,
+    invalid_seed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_tripped: AtomicU64,
+    work_tripped: AtomicU64,
+    in_flight: AtomicUsize,
+    busy_nanos: AtomicU64,
+}
+
+impl LifecycleCounters {
+    pub(crate) fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_completed(&self, elapsed: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(
+            elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    pub(crate) fn note_shed_overloaded(&self) {
+        self.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_shed_workspace(&self) {
+        self.shed_workspace.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_invalid_seed(&self) {
+        self.invalid_seed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_trip(&self, trip: Trip) {
+        match trip {
+            Trip::Deadline => self.deadline_tripped.fetch_add(1, Ordering::Relaxed),
+            Trip::WorkBudget => self.work_tripped.fetch_add(1, Ordering::Relaxed),
+            Trip::Cancelled => self.cancelled.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Try to occupy an in-flight slot under `limit`; `Err` returns the
+    /// observed occupancy without taking a slot.
+    pub(crate) fn enter(&self, limit: Option<usize>) -> Result<(), usize> {
+        let occupied = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if let Some(cap) = limit {
+            if occupied >= cap {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                return Err(occupied);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn exit(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Mean completed-query latency, the `Overloaded` retry-after hint.
+    pub(crate) fn mean_latency(&self) -> Option<Duration> {
+        let completed = self.completed.load(Ordering::Relaxed);
+        if completed == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            self.busy_nanos.load(Ordering::Relaxed) / completed,
+        ))
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> LifecycleSnapshot {
+        LifecycleSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_overloaded: self.shed_overloaded.load(Ordering::Relaxed),
+            shed_workspace: self.shed_workspace.load(Ordering::Relaxed),
+            invalid_seed: self.invalid_seed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_tripped: self.deadline_tripped.load(Ordering::Relaxed),
+            work_tripped: self.work_tripped.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a graph's lifecycle counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LifecycleSnapshot {
+    /// Queries that passed admission (includes ones that later tripped).
+    pub admitted: u64,
+    /// Queries that ran to completion.
+    pub completed: u64,
+    /// Queries shed by the in-flight cap.
+    pub shed_overloaded: u64,
+    /// Queries shed by the workspace-pool byte budget.
+    pub shed_workspace: u64,
+    /// Queries rejected for an out-of-range seed vertex.
+    pub invalid_seed: u64,
+    /// Queries stopped by their [`CancelToken`].
+    pub cancelled: u64,
+    /// Queries stopped by their wall-clock deadline.
+    pub deadline_tripped: u64,
+    /// Queries stopped by a work cap.
+    pub work_tripped: u64,
+    /// Queries executing right now.
+    pub in_flight: usize,
+}
+
+impl LifecycleSnapshot {
+    /// Total shed queries (in-flight cap + workspace budget).
+    pub fn shed(&self) -> u64 {
+        self.shed_overloaded + self.shed_workspace
+    }
+
+    /// Fraction of arriving queries shed before running
+    /// (`shed / (admitted + shed + invalid_seed)`); `0.0` when nothing
+    /// has arrived.
+    pub fn shed_rate(&self) -> f64 {
+        let arrived = self.admitted + self.shed() + self.invalid_seed;
+        if arrived == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / arrived as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_or_is_fieldwise() {
+        let token = CancelToken::new();
+        let default = QueryBudget::unlimited()
+            .with_deadline(Duration::from_secs(5))
+            .with_max_edges_traversed(100);
+        let per_query = QueryBudget::unlimited()
+            .with_max_edges_traversed(7)
+            .with_cancel(token);
+        let merged = per_query.or(&default);
+        assert_eq!(merged.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(merged.max_edges_traversed, Some(7));
+        assert_eq!(merged.max_pushed_mass_updates, None);
+        assert!(merged.cancel.is_some());
+        assert!(!merged.is_unlimited());
+        assert!(QueryBudget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn in_flight_gate_admits_up_to_limit() {
+        let c = LifecycleCounters::default();
+        assert!(c.enter(Some(2)).is_ok());
+        assert!(c.enter(Some(2)).is_ok());
+        assert_eq!(c.enter(Some(2)), Err(2));
+        c.exit();
+        assert!(c.enter(Some(2)).is_ok());
+        assert_eq!(c.snapshot().in_flight, 2);
+        c.exit();
+        c.exit();
+        assert_eq!(c.snapshot().in_flight, 0);
+        // unbounded always admits
+        assert!(c.enter(None).is_ok());
+        c.exit();
+    }
+
+    #[test]
+    fn snapshot_rates() {
+        let c = LifecycleCounters::default();
+        c.note_admitted();
+        c.note_admitted();
+        c.note_completed(Duration::from_millis(10));
+        c.note_shed_overloaded();
+        c.note_shed_workspace();
+        c.note_trip(Trip::Deadline);
+        let s = c.snapshot();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.shed(), 2);
+        assert_eq!(s.deadline_tripped, 1);
+        assert!((s.shed_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.mean_latency(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn query_error_display_and_source() {
+        let partial = PartialResult {
+            diffusion: None,
+            sweep: None,
+            stats: DiffusionStats::default(),
+        };
+        let e = QueryError::from_trip(Trip::Cancelled, Box::new(partial.clone()));
+        assert!(e.to_string().contains("cancelled"));
+        assert_eq!(e.trip(), Some(Trip::Cancelled));
+        assert!(e.partial().is_some());
+        assert!(!e.is_retryable());
+
+        let e = QueryError::InvalidSeed(InvalidSeed {
+            vertex: 9,
+            num_vertices: 4,
+        });
+        assert!(e.to_string().contains("seed vertex 9"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = QueryError::Overloaded {
+            in_flight: 3,
+            limit: 3,
+            retry_after: Some(Duration::from_millis(2)),
+        };
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("overloaded"));
+    }
+}

@@ -49,7 +49,11 @@
 //! [`Service`](crate::Service), which hosts one [`EngineHandle`]-shaped
 //! entry per registered graph over a single shared [`Pool`].
 
-use crate::batch::run_batch_shared;
+use crate::batch::{run_batch_shared, try_run_batch_shared};
+use crate::budget::{
+    InvalidSeed, LifecycleCounters, LifecycleSnapshot, PartialResult, QueryBudget, QueryError,
+    TrippedDiffusion,
+};
 use crate::cache::GraphCache;
 use crate::evolving::evolving_set_par_ws;
 use crate::ncp::{ncp_prnibble_ws, NcpParams, NcpPoint};
@@ -58,10 +62,11 @@ use crate::seed::Seed;
 use crate::sweep::sweep_cut_par_ws;
 use crate::{Algorithm, EvolvingParams, HkprParams, NibbleParams, PrNibbleParams, RandHkprParams};
 use lgc_graph::{CsrBackend, Graph};
-use lgc_ligra::{DirectionParams, Frontier, VertexSubset};
+use lgc_ligra::{Checkpoint, DirectionParams, Frontier, Trip, VertexSubset};
 use lgc_parallel::{Bitset, Pool};
 use lgc_sparse::{ConcurrentRankMap, ConcurrentSparseVec, MassMap};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A pool of recyclable scratch buffers shared by every diffusion.
 ///
@@ -427,6 +432,23 @@ pub trait LocalDiffusion {
 
     /// Runs the work-efficient parallel algorithm from `seed`, checking
     /// scratch buffers out of `ws` (and returning them) instead of
+    /// allocating, and consulting `cp` once per frontier iteration.
+    /// When the checkpoint trips, the mass settled up to the last
+    /// completed iteration comes back as [`TrippedDiffusion::partial`]
+    /// with every workspace buffer already returned — the checkout is
+    /// fully recyclable. With an unlimited checkpoint this is exactly
+    /// [`LocalDiffusion::diffuse`], bit for bit.
+    fn diffuse_guarded<B: CsrBackend>(
+        &self,
+        pool: &Pool,
+        g: &B,
+        seed: &Seed,
+        ws: &mut Workspace,
+        cp: &Checkpoint,
+    ) -> Result<Diffusion, TrippedDiffusion>;
+
+    /// Runs the work-efficient parallel algorithm from `seed`, checking
+    /// scratch buffers out of `ws` (and returning them) instead of
     /// allocating. Passing a fresh [`Workspace`] is exactly the free
     /// function; passing a warm one gives the same bits without the
     /// allocator traffic. Generic over the CSR backend — plain and
@@ -438,7 +460,12 @@ pub trait LocalDiffusion {
         g: &B,
         seed: &Seed,
         ws: &mut Workspace,
-    ) -> Diffusion;
+    ) -> Diffusion {
+        match self.diffuse_guarded(pool, g, seed, ws, &Checkpoint::unlimited()) {
+            Ok(d) => d,
+            Err(_) => unreachable!("an unlimited checkpoint never trips"),
+        }
+    }
 
     /// Runs the sequential reference implementation (fresh state).
     fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion;
@@ -456,14 +483,15 @@ impl LocalDiffusion for NibbleParams {
     fn name(&self) -> &'static str {
         "nibble"
     }
-    fn diffuse<B: CsrBackend>(
+    fn diffuse_guarded<B: CsrBackend>(
         &self,
         pool: &Pool,
         g: &B,
         seed: &Seed,
         ws: &mut Workspace,
-    ) -> Diffusion {
-        crate::nibble::nibble_par_ws(pool, g, seed, self, ws)
+        cp: &Checkpoint,
+    ) -> Result<Diffusion, TrippedDiffusion> {
+        crate::nibble::nibble_par_ws(pool, g, seed, self, ws, cp)
     }
     fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::nibble::nibble_seq(g, seed, self)
@@ -477,14 +505,15 @@ impl LocalDiffusion for PrNibbleParams {
     fn name(&self) -> &'static str {
         "prnibble"
     }
-    fn diffuse<B: CsrBackend>(
+    fn diffuse_guarded<B: CsrBackend>(
         &self,
         pool: &Pool,
         g: &B,
         seed: &Seed,
         ws: &mut Workspace,
-    ) -> Diffusion {
-        crate::prnibble::prnibble_par_ws(pool, g, seed, self, ws)
+        cp: &Checkpoint,
+    ) -> Result<Diffusion, TrippedDiffusion> {
+        crate::prnibble::prnibble_par_ws(pool, g, seed, self, ws, cp)
     }
     fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::prnibble::prnibble_seq(g, seed, self)
@@ -498,14 +527,15 @@ impl LocalDiffusion for HkprParams {
     fn name(&self) -> &'static str {
         "hkpr"
     }
-    fn diffuse<B: CsrBackend>(
+    fn diffuse_guarded<B: CsrBackend>(
         &self,
         pool: &Pool,
         g: &B,
         seed: &Seed,
         ws: &mut Workspace,
-    ) -> Diffusion {
-        crate::hkpr::hkpr_par_ws(pool, g, seed, self, ws)
+        cp: &Checkpoint,
+    ) -> Result<Diffusion, TrippedDiffusion> {
+        crate::hkpr::hkpr_par_ws(pool, g, seed, self, ws, cp)
     }
     fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::hkpr::hkpr_seq(g, seed, self)
@@ -519,14 +549,15 @@ impl LocalDiffusion for RandHkprParams {
     fn name(&self) -> &'static str {
         "rand-hkpr"
     }
-    fn diffuse<B: CsrBackend>(
+    fn diffuse_guarded<B: CsrBackend>(
         &self,
         pool: &Pool,
         g: &B,
         seed: &Seed,
         ws: &mut Workspace,
-    ) -> Diffusion {
-        crate::rand_hkpr::rand_hkpr_par_ws(pool, g, seed, self, ws)
+        cp: &Checkpoint,
+    ) -> Result<Diffusion, TrippedDiffusion> {
+        crate::rand_hkpr::rand_hkpr_par_ws(pool, g, seed, self, ws, cp)
     }
     fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::rand_hkpr::rand_hkpr_seq(g, seed, self)
@@ -545,14 +576,21 @@ impl LocalDiffusion for EvolvingParams {
     /// diffusion it yields the membership indicator of its best set (mass
     /// `1/|S|` per member). [`Engine::run`] bypasses the sweep for it and
     /// reports the set directly.
-    fn diffuse<B: CsrBackend>(
+    fn diffuse_guarded<B: CsrBackend>(
         &self,
         pool: &Pool,
         g: &B,
         seed: &Seed,
         ws: &mut Workspace,
-    ) -> Diffusion {
-        evolving_set_par_ws(pool, g, seed, self, ws).indicator()
+        cp: &Checkpoint,
+    ) -> Result<Diffusion, TrippedDiffusion> {
+        match evolving_set_par_ws(pool, g, seed, self, ws, cp) {
+            Ok(res) => Ok(res.indicator()),
+            Err((trip, res)) => Err(TrippedDiffusion {
+                trip,
+                partial: res.indicator(),
+            }),
+        }
     }
     fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
         crate::evolving::evolving_set_seq(g, seed, self).indicator()
@@ -572,19 +610,20 @@ impl LocalDiffusion for Algorithm {
             Algorithm::Evolving(p) => p.name(),
         }
     }
-    fn diffuse<B: CsrBackend>(
+    fn diffuse_guarded<B: CsrBackend>(
         &self,
         pool: &Pool,
         g: &B,
         seed: &Seed,
         ws: &mut Workspace,
-    ) -> Diffusion {
+        cp: &Checkpoint,
+    ) -> Result<Diffusion, TrippedDiffusion> {
         match self {
-            Algorithm::Nibble(p) => p.diffuse(pool, g, seed, ws),
-            Algorithm::PrNibble(p) => p.diffuse(pool, g, seed, ws),
-            Algorithm::Hkpr(p) => p.diffuse(pool, g, seed, ws),
-            Algorithm::RandHkpr(p) => p.diffuse(pool, g, seed, ws),
-            Algorithm::Evolving(p) => p.diffuse(pool, g, seed, ws),
+            Algorithm::Nibble(p) => p.diffuse_guarded(pool, g, seed, ws, cp),
+            Algorithm::PrNibble(p) => p.diffuse_guarded(pool, g, seed, ws, cp),
+            Algorithm::Hkpr(p) => p.diffuse_guarded(pool, g, seed, ws, cp),
+            Algorithm::RandHkpr(p) => p.diffuse_guarded(pool, g, seed, ws, cp),
+            Algorithm::Evolving(p) => p.diffuse_guarded(pool, g, seed, ws, cp),
         }
     }
     fn diffuse_seq<B: CsrBackend>(&self, g: &B, seed: &Seed) -> Diffusion {
@@ -608,19 +647,35 @@ impl LocalDiffusion for Algorithm {
 }
 
 /// One clustering query: a seed set plus the algorithm (with parameters)
-/// to diffuse with.
+/// to diffuse with, optionally bounded by a [`QueryBudget`].
 #[derive(Clone, Debug)]
 pub struct Query {
     /// Where the diffusion starts.
     pub seed: Seed,
     /// Which diffusion to run, with its parameters.
     pub algo: Algorithm,
+    /// Execution limits honored by the fallible entry points
+    /// ([`Engine::try_run`], [`Engine::try_run_batch`]); unset fields
+    /// fall back to the engine's per-graph default budget. The
+    /// infallible [`Engine::run`] ignores budgets entirely.
+    pub budget: QueryBudget,
 }
 
 impl Query {
-    /// A query running `algo` from `seed`.
+    /// A query running `algo` from `seed`, with no limits of its own.
     pub fn new(seed: Seed, algo: Algorithm) -> Self {
-        Query { seed, algo }
+        Query {
+            seed,
+            algo,
+            budget: QueryBudget::unlimited(),
+        }
+    }
+
+    /// Attaches per-query execution limits (overriding the engine's
+    /// default budget field-wise).
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -634,15 +689,103 @@ pub(crate) fn run_query<B: CsrBackend>(
     seed: &Seed,
     algo: &Algorithm,
 ) -> ClusterResult {
-    match algo {
-        Algorithm::Evolving(p) => {
-            ClusterResult::from_evolving(evolving_set_par_ws(pool, g, seed, p, ws))
+    match try_run_query(pool, g, ws, seed, algo, &Checkpoint::unlimited()) {
+        Ok(res) => res,
+        Err(_) => unreachable!("an unlimited checkpoint never trips"),
+    }
+}
+
+/// [`run_query`] under a [`Checkpoint`]: the guarded pipeline every
+/// fallible entry point routes through. On a trip the error carries a
+/// [`PartialResult`] — the partial diffusion vector, its work counters,
+/// and a best-so-far sweep cut. Sweeping the partial vector uses an
+/// *unlimited* checkpoint: its cost is bounded by the diffusion work the
+/// budget already admitted, and a tripped query should still hand back
+/// the best cluster its completed iterations can support. Either way the
+/// workspace ends the call fully recycled (all buffers returned), so the
+/// checkout is indistinguishable from one that served a completed query.
+pub(crate) fn try_run_query<B: CsrBackend>(
+    pool: &Pool,
+    g: &B,
+    ws: &mut Workspace,
+    seed: &Seed,
+    algo: &Algorithm,
+    cp: &Checkpoint,
+) -> Result<ClusterResult, (Trip, Box<PartialResult>)> {
+    if let Algorithm::Evolving(p) = algo {
+        // The evolving-set process reports its best set directly — a
+        // tripped run's best-so-far *is* its normal output shape.
+        return match evolving_set_par_ws(pool, g, seed, p, ws, cp) {
+            Ok(res) => Ok(ClusterResult::from_evolving(res)),
+            Err((trip, res)) => {
+                let res = ClusterResult::from_evolving(res);
+                Err((
+                    trip,
+                    Box::new(PartialResult {
+                        stats: res.diffusion.stats,
+                        diffusion: Some(res.diffusion),
+                        sweep: Some(res.sweep),
+                    }),
+                ))
+            }
+        };
+    }
+    let (diffusion, tripped) = match algo.diffuse_guarded(pool, g, seed, ws, cp) {
+        Ok(d) => (d, None),
+        Err(t) => (t.partial, Some(t.trip)),
+    };
+    match tripped {
+        None => match sweep_cut_par_ws(pool, g, &diffusion.p, ws, cp) {
+            Ok(sweep) => Ok(ClusterResult::new(diffusion, sweep)),
+            Err(trip) => Err((
+                trip,
+                Box::new(PartialResult {
+                    stats: diffusion.stats,
+                    diffusion: Some(diffusion),
+                    sweep: None,
+                }),
+            )),
+        },
+        Some(trip) => {
+            let sweep = sweep_cut_par_ws(pool, g, &diffusion.p, ws, &Checkpoint::unlimited())
+                .unwrap_or_else(|_| unreachable!("an unlimited checkpoint never trips"));
+            Err((
+                trip,
+                Box::new(PartialResult {
+                    stats: diffusion.stats,
+                    diffusion: Some(diffusion),
+                    sweep: Some(sweep),
+                }),
+            ))
         }
-        _ => {
-            let diffusion = algo.diffuse(pool, g, seed, ws);
-            let sweep = sweep_cut_par_ws(pool, g, &diffusion.p, ws);
-            ClusterResult::new(diffusion, sweep)
+    }
+}
+
+/// Admission control + lifecycle accounting for one graph's fallible
+/// query entry points: the in-flight cap, the per-graph default
+/// [`QueryBudget`], and the robustness counters. One per [`EngineCore`],
+/// shared by every handle over that graph.
+pub(crate) struct QueryGovernor {
+    max_in_flight: Option<usize>,
+    default_budget: QueryBudget,
+    counters: LifecycleCounters,
+}
+
+impl QueryGovernor {
+    pub(crate) fn new(max_in_flight: Option<usize>, default_budget: QueryBudget) -> Self {
+        QueryGovernor {
+            max_in_flight,
+            default_budget,
+            counters: LifecycleCounters::default(),
         }
+    }
+
+    pub(crate) fn counters(&self) -> &LifecycleCounters {
+        &self.counters
+    }
+
+    pub(crate) fn default_budget(&self) -> &QueryBudget {
+        &self.default_budget
     }
 }
 
@@ -674,15 +817,25 @@ pub(crate) struct EngineCore {
     pool: PoolRef,
     dir: Option<DirectionParams>,
     workspaces: WorkspacePool,
+    governor: QueryGovernor,
 }
 
 impl EngineCore {
-    /// A core admitting at most `budget` resident workspace bytes.
-    pub(crate) fn new(pool: PoolRef, dir: Option<DirectionParams>, budget: usize) -> Self {
+    /// A core admitting at most `budget` resident workspace bytes and at
+    /// most `max_in_flight` concurrent fallible queries, every query
+    /// defaulting to `default_budget`.
+    pub(crate) fn new(
+        pool: PoolRef,
+        dir: Option<DirectionParams>,
+        budget: usize,
+        max_in_flight: Option<usize>,
+        default_budget: QueryBudget,
+    ) -> Self {
         EngineCore {
             pool,
             dir,
             workspaces: WorkspacePool::new(Arc::new(GraphCache::new()), budget),
+            governor: QueryGovernor::new(max_in_flight, default_budget),
         }
     }
 
@@ -693,12 +846,18 @@ impl EngineCore {
             pool: &self.pool,
             dir: self.dir,
             workspaces: &self.workspaces,
+            governor: &self.governor,
         }
     }
 
     /// The core's per-graph cache.
     pub(crate) fn cache(&self) -> &Arc<GraphCache> {
         self.workspaces.cache()
+    }
+
+    /// Point-in-time copy of the core's robustness counters.
+    pub(crate) fn lifecycle(&self) -> LifecycleSnapshot {
+        self.governor.counters().snapshot()
     }
 }
 
@@ -712,6 +871,8 @@ pub struct EngineBuilder<'g, B: CsrBackend = Graph> {
     pool: Option<PoolRef>,
     dir: Option<DirectionParams>,
     budget: Option<usize>,
+    max_in_flight: Option<usize>,
+    default_budget: QueryBudget,
 }
 
 impl<'g, B: CsrBackend> EngineBuilder<'g, B> {
@@ -755,6 +916,39 @@ impl<'g, B: CsrBackend> EngineBuilder<'g, B> {
         self
     }
 
+    /// Admission-control cap: at most `n` fallible queries
+    /// ([`Engine::try_run`]) execute concurrently; arrivals beyond the
+    /// cap are shed with [`QueryError::Overloaded`] (carrying a
+    /// retry-after hint) instead of queuing. The infallible paths are
+    /// never shed. Default: unbounded.
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = Some(n);
+        self
+    }
+
+    /// Default [`QueryBudget`] applied to every fallible query on this
+    /// engine; per-query budgets override it field-wise. Default:
+    /// unlimited.
+    pub fn default_budget(mut self, budget: QueryBudget) -> Self {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Applies a full [`EngineLimits`](crate::EngineLimits) bundle —
+    /// workspace byte budget,
+    /// in-flight cap, and default query budget — in one call (unset
+    /// fields keep their defaults).
+    pub fn limits(mut self, limits: crate::budget::EngineLimits) -> Self {
+        if let Some(b) = limits.workspace_budget {
+            self.budget = Some(b);
+        }
+        if let Some(n) = limits.max_in_flight {
+            self.max_in_flight = Some(n);
+        }
+        self.default_budget = limits.default_budget;
+        self
+    }
+
     /// Builds the engine (spawning the pool's workers if needed).
     pub fn build(self) -> Engine<'g, B> {
         let pool = self.pool.unwrap_or_else(|| {
@@ -768,7 +962,13 @@ impl<'g, B: CsrBackend> EngineBuilder<'g, B> {
             .unwrap_or_else(|| default_workspace_budget(self.g.memory_bytes()));
         Engine {
             g: self.g,
-            core: EngineCore::new(pool, self.dir, budget),
+            core: EngineCore::new(
+                pool,
+                self.dir,
+                budget,
+                self.max_in_flight,
+                self.default_budget,
+            ),
         }
     }
 }
@@ -800,6 +1000,8 @@ impl<'g, B: CsrBackend> Engine<'g, B> {
             pool: None,
             dir: None,
             budget: None,
+            max_in_flight: None,
+            default_budget: QueryBudget::unlimited(),
         }
     }
 
@@ -861,12 +1063,20 @@ impl<'g, B: CsrBackend> Engine<'g, B> {
         self.handle().run(query)
     }
 
-    /// Like [`Engine::run`], but refuses (instead of falling back to a
-    /// transient workspace) when admitting the query's scratch would
-    /// exceed the engine's workspace byte budget — back-pressure a
-    /// caller can act on.
-    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, WorkspaceBudgetExceeded> {
+    /// The governed form of [`Engine::run`]: validates the seed, applies
+    /// admission control (in-flight cap, workspace byte budget), honors
+    /// the query's [`QueryBudget`] (merged field-wise over the engine's
+    /// default), and returns a typed [`QueryError`] — carrying the
+    /// best-so-far [`PartialResult`] for mid-run trips — instead of
+    /// running unboundedly or panicking.
+    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, QueryError> {
         self.handle().try_run(query)
+    }
+
+    /// Per-graph robustness counters: admitted / completed / shed /
+    /// tripped / in-flight, next to the [`GraphCache`] stats.
+    pub fn lifecycle_stats(&self) -> LifecycleSnapshot {
+        self.core.lifecycle()
     }
 
     /// Runs just the diffusion of `algo` from `seed` (no sweep).
@@ -884,6 +1094,15 @@ impl<'g, B: CsrBackend> Engine<'g, B> {
     /// contract).
     pub fn run_batch(&self, queries: &[Query]) -> Vec<ClusterResult> {
         self.handle().run_batch(queries)
+    }
+
+    /// The governed form of [`Engine::run_batch`]: every query is
+    /// seed-validated and runs under its own [`QueryBudget`] (merged
+    /// over the engine's default, armed at that query's start), so one
+    /// poisoned or oversized query fails alone — position-aligned with
+    /// `queries` — while the rest of the batch completes normally.
+    pub fn try_run_batch(&self, queries: &[Query]) -> Vec<Result<ClusterResult, QueryError>> {
+        self.handle().try_run_batch(queries)
     }
 
     /// Computes a network community profile (§4) with PR-Nibble
@@ -906,6 +1125,7 @@ pub struct EngineHandle<'a, B: CsrBackend = Graph> {
     pool: &'a Pool,
     dir: Option<DirectionParams>,
     workspaces: &'a WorkspacePool,
+    governor: &'a QueryGovernor,
 }
 
 // Manual impls: `derive(Clone, Copy)` would demand `B: Copy`, but the
@@ -948,20 +1168,72 @@ impl<'a, B: CsrBackend> EngineHandle<'a, B> {
 
     /// See [`Engine::run`].
     pub fn run(&self, query: &Query) -> ClusterResult {
+        let counters = self.governor.counters();
+        let _ = counters.enter(None); // unbounded: tracks in-flight only
+        counters.note_admitted();
+        let t0 = Instant::now();
         let algo = self.resolve(&query.algo);
         let mut ws = self.workspaces.checkout();
         let out = run_query(self.pool, self.g, &mut ws, &query.seed, &algo);
         self.workspaces.restore(ws);
+        counters.note_completed(t0.elapsed());
+        counters.exit();
         out
     }
 
     /// See [`Engine::try_run`].
-    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, WorkspaceBudgetExceeded> {
+    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, QueryError> {
+        let counters = self.governor.counters();
+        let n = self.g.num_vertices();
+        if let Some(&v) = query.seed.vertices().iter().find(|&&v| v as usize >= n) {
+            counters.note_invalid_seed();
+            return Err(InvalidSeed {
+                vertex: v,
+                num_vertices: n,
+            }
+            .into());
+        }
+        if let Err(occupied) = counters.enter(self.governor.max_in_flight) {
+            counters.note_shed_overloaded();
+            return Err(QueryError::Overloaded {
+                in_flight: occupied,
+                limit: self.governor.max_in_flight.unwrap_or(usize::MAX),
+                retry_after: counters.mean_latency(),
+            });
+        }
+        let out = self.try_run_admitted(query);
+        counters.exit();
+        out
+    }
+
+    /// [`Self::try_run`] past the in-flight gate: workspace checkout,
+    /// budget arming, execution, and counter bookkeeping. Split out so
+    /// the gate's `exit()` covers every return path in one place.
+    fn try_run_admitted(&self, query: &Query) -> Result<ClusterResult, QueryError> {
+        let counters = self.governor.counters();
         let algo = self.resolve(&query.algo);
-        let mut ws = self.workspaces.try_checkout()?;
-        let out = run_query(self.pool, self.g, &mut ws, &query.seed, &algo);
+        let mut ws = match self.workspaces.try_checkout() {
+            Ok(ws) => ws,
+            Err(e) => {
+                counters.note_shed_workspace();
+                return Err(e.into());
+            }
+        };
+        counters.note_admitted();
+        let cp = query.budget.or(self.governor.default_budget()).checkpoint();
+        let t0 = Instant::now();
+        let out = try_run_query(self.pool, self.g, &mut ws, &query.seed, &algo, &cp);
         self.workspaces.restore(ws);
-        Ok(out)
+        match out {
+            Ok(res) => {
+                counters.note_completed(t0.elapsed());
+                Ok(res)
+            }
+            Err((trip, partial)) => {
+                counters.note_trip(trip);
+                Err(QueryError::from_trip(trip, partial))
+            }
+        }
     }
 
     /// See [`Engine::diffuse`].
@@ -976,6 +1248,23 @@ impl<'a, B: CsrBackend> EngineHandle<'a, B> {
     /// See [`Engine::run_batch`].
     pub fn run_batch(&self, queries: &[Query]) -> Vec<ClusterResult> {
         run_batch_shared(self.pool, self.g, queries, self.dir, Some(self.workspaces))
+    }
+
+    /// See [`Engine::try_run_batch`].
+    pub fn try_run_batch(&self, queries: &[Query]) -> Vec<Result<ClusterResult, QueryError>> {
+        try_run_batch_shared(
+            self.pool,
+            self.g,
+            queries,
+            self.dir,
+            Some(self.workspaces),
+            Some(self.governor),
+        )
+    }
+
+    /// See [`Engine::lifecycle_stats`].
+    pub fn lifecycle_stats(&self) -> LifecycleSnapshot {
+        self.governor.counters().snapshot()
     }
 
     /// See [`Engine::ncp`].

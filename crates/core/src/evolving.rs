@@ -28,7 +28,9 @@ use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::CsrBackend;
-use lgc_ligra::{edge_map, edge_map_dense_count, Direction, DirectionParams, VertexSubset};
+use lgc_ligra::{
+    edge_map, edge_map_dense_count, Checkpoint, Direction, DirectionParams, Trip, VertexSubset,
+};
 use lgc_parallel::{filter_map_index, Pool};
 use lgc_sparse::{ConcurrentSparseVec, SparseVec};
 use rand::rngs::StdRng;
@@ -178,7 +180,17 @@ pub fn evolving_set_par<B: CsrBackend>(
     seed: &Seed,
     params: &EvolvingParams,
 ) -> EvolvingResult {
-    evolving_set_par_ws(pool, g, seed, params, &mut Workspace::new())
+    match evolving_set_par_ws(
+        pool,
+        g,
+        seed,
+        params,
+        &mut Workspace::new(),
+        &Checkpoint::unlimited(),
+    ) {
+        Ok(res) => res,
+        Err((_, res)) => res, // unreachable: an unlimited checkpoint never trips
+    }
 }
 
 /// [`evolving_set_par`] over a recyclable workspace: the neighbor
@@ -186,13 +198,19 @@ pub fn evolving_set_par<B: CsrBackend>(
 /// counting) are checked out of `ws` instead of allocated. The
 /// trajectory is count-exact, so neither workspace reuse nor the
 /// per-step direction choice can perturb it.
+///
+/// `cp` is consulted once per evolution step (counters: steps taken and
+/// cumulative set volume); on a trip the walk stops at that boundary and
+/// the best-so-far result is returned as the `Err` payload, with the
+/// workspace buffers already recycled.
 pub(crate) fn evolving_set_par_ws<B: CsrBackend>(
     pool: &Pool,
     g: &B,
     seed: &Seed,
     params: &EvolvingParams,
     ws: &mut Workspace,
-) -> EvolvingResult {
+    cp: &Checkpoint,
+) -> Result<EvolvingResult, (Trip, EvolvingResult)> {
     let n = g.num_vertices();
     let mut rng = StdRng::seed_from_u64(params.rng_seed);
     let mut current = ws.take_frontier();
@@ -204,13 +222,20 @@ pub(crate) fn evolving_set_par_ws<B: CsrBackend>(
         .take()
         .unwrap_or_else(|| ConcurrentSparseVec::with_capacity(16));
 
+    let mut edges = 0u64;
+    let mut tripped = None;
     let steps = 'run: {
         for step in 0..params.max_steps {
             if best.1 <= params.target_conductance {
                 break 'run step;
             }
+            if let Err(trip) = cp.tick(step as u64, edges) {
+                tripped = Some(trip);
+                break 'run step;
+            }
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
             let vol = current.volume(g);
+            edges += vol as u64;
             inside.reset(pool, vol.max(1));
             // Exact |N(v) ∩ S| counts for everything adjacent to S —
             // pushed over S's out-edges (atomic integer adds) or pulled
@@ -256,7 +281,11 @@ pub(crate) fn evolving_set_par_ws<B: CsrBackend>(
     };
     ws.counts = Some(inside);
     ws.put_frontier(pool, current);
-    finish(best, steps, sizes)
+    let res = finish(best, steps, sizes);
+    match tripped {
+        None => Ok(res),
+        Some(trip) => Err((trip, res)),
+    }
 }
 
 fn snapshot<B: CsrBackend>(g: &B, set: &[u32]) -> (Vec<u32>, f64) {
@@ -404,7 +433,15 @@ mod tests {
                 rng_seed,
                 ..Default::default()
             };
-            let warm = evolving_set_par_ws(&pool, &g, &Seed::single(2), &params, &mut ws);
+            let warm = evolving_set_par_ws(
+                &pool,
+                &g,
+                &Seed::single(2),
+                &params,
+                &mut ws,
+                &Checkpoint::unlimited(),
+            )
+            .unwrap();
             let cold = evolving_set_par(&pool, &g, &Seed::single(2), &params);
             assert_eq!(warm.best_set, cold.best_set, "rng_seed={rng_seed}");
             assert_eq!(warm.sizes, cold.sizes);

@@ -7,11 +7,14 @@
 //! the same vector (Theorem 4).
 
 use super::HkprParams;
+use crate::budget::TrippedDiffusion;
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::CsrBackend;
-use lgc_ligra::{edge_map_dense, edge_map_dense_gather, edge_map_indexed, Direction, VertexSubset};
+use lgc_ligra::{
+    edge_map_dense, edge_map_dense_gather, edge_map_indexed, Checkpoint, Direction, VertexSubset,
+};
 use lgc_parallel::{map_index, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
 
@@ -31,20 +34,35 @@ use lgc_sparse::MassMap;
 /// is filtered directly off `r_next`'s backend. Mass vectors are
 /// adaptive [`MassMap`]s.
 pub fn hkpr_par<B: CsrBackend>(pool: &Pool, g: &B, seed: &Seed, params: &HkprParams) -> Diffusion {
-    hkpr_par_ws(pool, g, seed, params, &mut Workspace::new())
+    match hkpr_par_ws(
+        pool,
+        g,
+        seed,
+        params,
+        &mut Workspace::new(),
+        &Checkpoint::unlimited(),
+    ) {
+        Ok(d) => d,
+        Err(t) => t.partial, // unreachable: an unlimited checkpoint never trips
+    }
 }
 
 /// [`hkpr_par`] over a recyclable [`Workspace`]: the three mass maps, the
 /// frontier (with its bitset), and the vertex-indexed contribution slice
 /// are checked out of `ws` instead of allocated; checkouts are re-fitted
 /// to match fresh allocations exactly, so warm runs are bit-identical.
+///
+/// `cp` is consulted once per level; on a trip the loop stops at that
+/// boundary and the banked (and `e^{−t}`-scaled) mass is returned as the
+/// `Err` payload, with every workspace buffer already recycled.
 pub(crate) fn hkpr_par_ws<B: CsrBackend>(
     pool: &Pool,
     g: &B,
     seed: &Seed,
     params: &HkprParams,
     ws: &mut Workspace,
-) -> Diffusion {
+    cp: &Checkpoint,
+) -> Result<Diffusion, TrippedDiffusion> {
     params.validate();
     let n = g.num_vertices();
     let n_levels = params.n_levels;
@@ -68,7 +86,12 @@ pub(crate) fn hkpr_par_ws<B: CsrBackend>(
     let mut contrib_dense: Vec<f64> = ws.take_dense();
 
     let mut j = 0usize;
+    let mut tripped = None;
     while !frontier.is_empty() {
+        if let Err(trip) = cp.tick(stats.pushes, stats.edges_traversed) {
+            tripped = Some(trip);
+            break;
+        }
         stats.iterations += 1;
         stats.pushes += frontier.len() as u64;
         let k = frontier.len();
@@ -197,7 +220,10 @@ pub(crate) fn hkpr_par_ws<B: CsrBackend>(
     ws.put_dense(contrib_dense);
     let mut d = Diffusion::from_entries_par(pool, entries, stats);
     d.stats.residual_mass = (1.0 - d.total_mass()).max(0.0);
-    d
+    match tripped {
+        None => Ok(d),
+        Some(trip) => Err(TrippedDiffusion { trip, partial: d }),
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@
 //! process (§5), and network-community-profile generation (§4, Fig. 12).
 
 mod batch;
+mod budget;
 mod cache;
 mod engine;
 mod evolving;
@@ -65,7 +66,11 @@ mod seed;
 mod service;
 mod sweep;
 
-pub use batch::run_batch;
+pub use batch::{run_batch, try_run_batch};
+pub use budget::{
+    EngineLimits, InvalidSeed, LifecycleSnapshot, PartialResult, QueryBudget, QueryError,
+    TrippedDiffusion,
+};
 pub use cache::{GraphCache, GraphSummary};
 pub use engine::{
     Engine, EngineBuilder, EngineHandle, LocalDiffusion, Query, Workspace, WorkspaceBudgetExceeded,
@@ -86,6 +91,14 @@ pub use sweep::{sweep_cut_par, sweep_cut_seq, SweepCut};
 // The direction-optimization knob carried by the diffusion param structs,
 // re-exported so callers can configure it without a direct lgc-ligra dep.
 pub use lgc_ligra::{Direction, DirectionMode, DirectionParams};
+
+// The cooperative-interrupt machinery budgets compile down to: tokens and
+// trip reasons appear in this crate's public API (`QueryBudget.cancel`,
+// `QueryError::trip`), and `Checkpoint` in `LocalDiffusion`'s guarded
+// signature.
+#[cfg(feature = "fault-inject")]
+pub use lgc_ligra::FaultPlan;
+pub use lgc_ligra::{CancelToken, Checkpoint, Trip};
 
 use lgc_graph::CsrBackend;
 use lgc_parallel::Pool;

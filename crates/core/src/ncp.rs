@@ -7,6 +7,7 @@
 //! settings and taking, for every sweep prefix, the minimum conductance
 //! seen at that prefix size. This module reproduces that procedure.
 
+use crate::budget::QueryBudget;
 use crate::engine::Workspace;
 use crate::prnibble::{prnibble_par_ws, PrNibbleParams, PushRule};
 use crate::seed::Seed;
@@ -32,6 +33,12 @@ pub struct NcpParams {
     /// workload where the dense pull traversal pays off. Defaults to
     /// PR-Nibble's measured threshold.
     pub dir: lgc_ligra::DirectionParams,
+    /// Budget over the *whole* grid scan (deadline, cumulative work
+    /// caps, cancellation). Checked between grid points and cooperatively
+    /// inside each run; on a trip the profile built so far is returned —
+    /// an NCP is a min-envelope, so a truncated scan is still a valid
+    /// (just sparser) profile. Default: unlimited.
+    pub budget: QueryBudget,
 }
 
 impl Default for NcpParams {
@@ -42,6 +49,7 @@ impl Default for NcpParams {
             epsilons: vec![1e-4, 1e-5, 1e-6],
             rng_seed: 7,
             dir: crate::PrNibbleParams::default().dir,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -82,7 +90,14 @@ pub(crate) fn ncp_prnibble_ws<B: CsrBackend>(
     let mut rng = StdRng::seed_from_u64(params.rng_seed);
     let mut best: Vec<f64> = Vec::new(); // index = size - 1
 
-    for _ in 0..params.num_seeds {
+    // One checkpoint governs the whole grid: cumulative work from
+    // completed runs is subtracted from the caps handed to each inner
+    // run (`after_work`), so the budget bounds the scan, not each point.
+    let cp = params.budget.checkpoint();
+    let mut total_pushes = 0u64;
+    let mut total_edges = 0u64;
+
+    'grid: for _ in 0..params.num_seeds {
         let seed = loop {
             let v = rng.gen_range(0..n as u32);
             if g.degree(v) > 0 {
@@ -95,6 +110,9 @@ pub(crate) fn ncp_prnibble_ws<B: CsrBackend>(
         };
         for &alpha in &params.alphas {
             for &eps in &params.epsilons {
+                if cp.tick(total_pushes, total_edges).is_err() {
+                    break 'grid;
+                }
                 let p = PrNibbleParams {
                     alpha,
                     eps,
@@ -103,8 +121,15 @@ pub(crate) fn ncp_prnibble_ws<B: CsrBackend>(
                     dir: params.dir,
                     ..Default::default()
                 };
-                let d = prnibble_par_ws(pool, g, &Seed::single(seed), &p, ws);
-                let sweep = sweep_cut_par_ws(pool, g, &d.p, ws);
+                let sub = cp.after_work(total_pushes, total_edges);
+                let Ok(d) = prnibble_par_ws(pool, g, &Seed::single(seed), &p, ws, &sub) else {
+                    break 'grid;
+                };
+                total_pushes += d.stats.pushes;
+                total_edges += d.stats.edges_traversed;
+                let Ok(sweep) = sweep_cut_par_ws(pool, g, &d.p, ws, &sub) else {
+                    break 'grid;
+                };
                 for (i, &phi) in sweep.conductances.iter().enumerate() {
                     if phi.is_finite() {
                         if best.len() <= i {

@@ -12,12 +12,14 @@
 //! `vertexMap`/`edgeMap` per iteration: Theorem 2 gives `O(T/ε)` work and
 //! `O(T log(1/ε))` depth.
 
+use crate::budget::TrippedDiffusion;
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::CsrBackend;
 use lgc_ligra::{
-    edge_map_dense, edge_map_indexed, Direction, DirectionParams, Frontier, VertexSubset,
+    edge_map_dense, edge_map_indexed, Checkpoint, Direction, DirectionParams, Frontier,
+    VertexSubset,
 };
 use lgc_parallel::{fill_with_index, Pool, UnsafeSlice};
 use lgc_sparse::{MassMap, SparseVec};
@@ -130,20 +132,35 @@ pub fn nibble_par<B: CsrBackend>(
     seed: &Seed,
     params: &NibbleParams,
 ) -> Diffusion {
-    nibble_par_ws(pool, g, seed, params, &mut Workspace::new())
+    match nibble_par_ws(
+        pool,
+        g,
+        seed,
+        params,
+        &mut Workspace::new(),
+        &Checkpoint::unlimited(),
+    ) {
+        Ok(d) => d,
+        Err(t) => t.partial, // unreachable: an unlimited checkpoint never trips
+    }
 }
 
 /// [`nibble_par`] over a recyclable [`Workspace`]: both mass maps, the
 /// frontier (with its bitset), and the vertex-indexed share slice are
 /// checked out of `ws` instead of allocated; checkouts are re-fitted to
 /// match fresh allocations exactly, so warm runs are bit-identical.
+///
+/// `cp` is consulted once per lazy-walk iteration; on a trip the loop
+/// stops at that boundary and the mass settled so far is returned as the
+/// `Err` payload, with every workspace buffer already recycled.
 pub(crate) fn nibble_par_ws<B: CsrBackend>(
     pool: &Pool,
     g: &B,
     seed: &Seed,
     params: &NibbleParams,
     ws: &mut Workspace,
-) -> Diffusion {
+    cp: &Checkpoint,
+) -> Result<Diffusion, TrippedDiffusion> {
     let eps = params.eps;
     let n = g.num_vertices();
     let mut stats = DiffusionStats::default();
@@ -162,8 +179,13 @@ pub(crate) fn nibble_par_ws<B: CsrBackend>(
     let mut p_new = ws.take_mass(pool, n, 16, MassMap::DEFAULT_DENSE_FRACTION);
     let mut share_dense: Vec<f64> = ws.take_dense();
 
+    let mut tripped = None;
     for _ in 0..params.t_max {
         if frontier.is_empty() {
+            break;
+        }
+        if let Err(trip) = cp.tick(stats.pushes, stats.edges_traversed) {
+            tripped = Some(trip);
             break;
         }
         stats.iterations += 1;
@@ -201,7 +223,11 @@ pub(crate) fn nibble_par_ws<B: CsrBackend>(
     ws.put_mass(p_new);
     ws.put_frontier(pool, frontier);
     ws.put_dense(share_dense);
-    finish(pool, entries, stats)
+    let d = finish(pool, entries, stats);
+    match tripped {
+        None => Ok(d),
+        Some(trip) => Err(TrippedDiffusion { trip, partial: d }),
+    }
 }
 
 /// The *original* Spielman–Teng Nibble loop (§3.2 before the paper's

@@ -12,11 +12,12 @@
 //! exactly as Theorem 3 charges it.
 
 use super::PrNibbleParams;
+use crate::budget::TrippedDiffusion;
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::CsrBackend;
-use lgc_ligra::{edge_map_dense_gather, edge_map_indexed, Direction, VertexSubset};
+use lgc_ligra::{edge_map_dense_gather, edge_map_indexed, Checkpoint, Direction, VertexSubset};
 use lgc_parallel::{filter_map_index, Bitset, Pool, UnsafeSlice};
 use lgc_sparse::MassMap;
 
@@ -52,7 +53,17 @@ pub fn prnibble_par<B: CsrBackend>(
     seed: &Seed,
     params: &PrNibbleParams,
 ) -> Diffusion {
-    prnibble_par_ws(pool, g, seed, params, &mut Workspace::new())
+    match prnibble_par_ws(
+        pool,
+        g,
+        seed,
+        params,
+        &mut Workspace::new(),
+        &Checkpoint::unlimited(),
+    ) {
+        Ok(d) => d,
+        Err(t) => t.partial, // unreachable: an unlimited checkpoint never trips
+    }
 }
 
 /// [`prnibble_par`] over a recyclable [`Workspace`]: the three mass maps,
@@ -60,15 +71,22 @@ pub fn prnibble_par<B: CsrBackend>(
 /// and the receiver bitset are checked out of `ws` instead of allocated —
 /// and every checkout is re-fitted to be observationally identical to a
 /// fresh allocation, so warm runs return the same bits as cold ones.
+///
+/// `cp` is consulted once per push iteration; on a trip the loop stops at
+/// that boundary and the settled `p` is returned as the `Err` payload,
+/// with every workspace buffer already recycled (the receiver bitset is
+/// all-zero at iteration boundaries, so the early exit preserves the
+/// pool's clear-bitset invariant).
 pub(crate) fn prnibble_par_ws<B: CsrBackend>(
     pool: &Pool,
     g: &B,
     seed: &Seed,
     params: &PrNibbleParams,
     ws: &mut Workspace,
-) -> Diffusion {
+    cp: &Checkpoint,
+) -> Result<Diffusion, TrippedDiffusion> {
     params.validate();
-    let (cp, cr, cn) = params.rule.coefficients(params.alpha);
+    let (c_bank, cr, cn) = params.rule.coefficients(params.alpha);
     let eps = params.eps;
     let n = g.num_vertices();
     let mut stats = DiffusionStats::default();
@@ -93,7 +111,12 @@ pub(crate) fn prnibble_par_ws<B: CsrBackend>(
         .filter(|&v| g.degree(v) > 0 && seed.mass_per_vertex() >= eps * g.degree(v) as f64)
         .collect();
 
+    let mut tripped = None;
     while !eligible.is_empty() {
+        if let Err(trip) = cp.tick(stats.pushes, stats.edges_traversed) {
+            tripped = Some(trip);
+            break;
+        }
         stats.iterations += 1;
         frontier.advance(pool, select_frontier(g, &r, &eligible, params.beta));
         let k = frontier.len();
@@ -128,7 +151,7 @@ pub(crate) fn prnibble_par_ws<B: CsrBackend>(
                 for i in s..e {
                     let v = ids[i];
                     let rv = r_ref.get(v);
-                    p_ref.add(v, cp * rv);
+                    p_ref.add(v, c_bank * rv);
                     let c = cn * rv / g.degree(v) as f64;
                     // SAFETY: disjoint indices (i and the distinct v).
                     unsafe {
@@ -250,7 +273,11 @@ pub(crate) fn prnibble_par_ws<B: CsrBackend>(
         // so the bitset goes back to the pool all-zero.
         ws.put_bitset(bits);
     }
-    Diffusion::from_entries_par(pool, entries, stats)
+    let d = Diffusion::from_entries_par(pool, entries, stats);
+    match tripped {
+        None => Ok(d),
+        Some(trip) => Err(TrippedDiffusion { trip, partial: d }),
+    }
 }
 
 /// Merges two sorted duplicate-free id lists into one — `O(a + b)`,

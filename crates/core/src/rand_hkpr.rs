@@ -15,10 +15,12 @@
 //! depth). Each walk derives its own RNG from the master seed, so the
 //! sequential and parallel versions produce *identical* vectors.
 
+use crate::budget::TrippedDiffusion;
 use crate::engine::Workspace;
 use crate::result::{Diffusion, DiffusionStats};
 use crate::seed::Seed;
 use lgc_graph::CsrBackend;
+use lgc_ligra::Checkpoint;
 use lgc_parallel::{counting_sort_by_key, fill_with_index, filter_map_index, map_index, Pool};
 use lgc_sparse::{ConcurrentRankMap, SparseVec};
 use rand::rngs::StdRng;
@@ -168,81 +170,126 @@ pub fn rand_hkpr_par<B: CsrBackend>(
     seed: &Seed,
     params: &RandHkprParams,
 ) -> Diffusion {
-    rand_hkpr_par_ws(pool, g, seed, params, &mut Workspace::new())
+    match rand_hkpr_par_ws(
+        pool,
+        g,
+        seed,
+        params,
+        &mut Workspace::new(),
+        &Checkpoint::unlimited(),
+    ) {
+        Ok(d) => d,
+        Err(t) => t.partial, // unreachable: an unlimited checkpoint never trips
+    }
 }
+
+/// Walks between two checkpoint ticks of [`rand_hkpr_par_ws`]. All walks
+/// are independent with per-walk RNG streams, so a blocked fill writes
+/// the exact bits one full-array fill would.
+const WALK_BLOCK: usize = 1 << 15;
 
 /// [`rand_hkpr_par`] over a recyclable [`Workspace`]: the length-`N`
 /// walk-destination array and the destination-compaction table come from
 /// `ws`. Per-walk RNG streams make the walks themselves reuse-invariant,
 /// and the aggregation's output is sorted by vertex id, so the recycled
 /// buffers cannot influence the result bits.
+///
+/// `cp` is consulted between [`WALK_BLOCK`]-walk blocks (the algorithm
+/// has no frontier iterations; this is its amortized boundary). On a
+/// trip, the completed prefix of walks is aggregated into an estimate
+/// with the number of *completed* walks as the denominator — still a
+/// unit-mass empirical distribution, just from fewer samples — and
+/// returned as the `Err` payload.
 pub(crate) fn rand_hkpr_par_ws<B: CsrBackend>(
     pool: &Pool,
     g: &B,
     seed: &Seed,
     params: &RandHkprParams,
     ws: &mut Workspace,
-) -> Diffusion {
+    cp: &Checkpoint,
+) -> Result<Diffusion, TrippedDiffusion> {
     params.validate();
     let cdf = params.length_cdf();
     let n = params.walks;
-    let mut stats = DiffusionStats {
-        pushes: n as u64,
-        ..Default::default()
-    };
+    let mut stats = DiffusionStats::default();
 
-    // All walks in parallel; destinations into a length-N array (the
-    // contention-free scheme), recycled across queries.
+    // All walks of a block in parallel; destinations into a length-N
+    // array (the contention-free scheme), recycled across queries.
     ws.walks.resize(n, (0, 0));
-    fill_with_index(pool, &mut ws.walks, |i| {
-        run_walk(g, seed, &cdf, params.rng_seed, i)
-    });
-    let walks = &ws.walks;
-    stats.edges_traversed = walks.iter().map(|&(_, s)| s as u64).sum();
-    stats.iterations = n as u64;
-
-    // Remap destinations to compact ids via a concurrent hash table.
-    let distinct_map = match ws.rank.take() {
-        Some(mut m) => {
-            m.reset(pool, n.min(g.num_vertices()) + 1);
-            m
+    let mut done = 0usize;
+    let mut tripped = None;
+    while done < n {
+        if let Err(trip) = cp.tick(done as u64, stats.edges_traversed) {
+            tripped = Some(trip);
+            break;
         }
-        None => ConcurrentRankMap::with_capacity(n.min(g.num_vertices()) + 1),
+        let end = (done + WALK_BLOCK).min(n);
+        fill_with_index(pool, &mut ws.walks[done..end], |i| {
+            run_walk(g, seed, &cdf, params.rng_seed, done + i)
+        });
+        stats.edges_traversed += ws.walks[done..end]
+            .iter()
+            .map(|&(_, s)| s as u64)
+            .sum::<u64>();
+        done = end;
+    }
+    stats.pushes = done as u64;
+    stats.iterations = done as u64;
+    let walks = &ws.walks[..done];
+
+    let entries: Vec<(u32, f64)> = if done == 0 {
+        // Tripped before the first block: nothing past `done` was
+        // written this run, so the stale tail must not be aggregated.
+        Vec::new()
+    } else {
+        // Remap destinations to compact ids via a concurrent hash table.
+        let distinct_map = match ws.rank.take() {
+            Some(mut m) => {
+                m.reset(pool, done.min(g.num_vertices()) + 1);
+                m
+            }
+            None => ConcurrentRankMap::with_capacity(done.min(g.num_vertices()) + 1),
+        };
+        pool.run(done, 1024, |s, e| {
+            for &(dest, _) in &walks[s..e] {
+                distinct_map.insert(dest, 0);
+            }
+        });
+        let distinct = distinct_map.keys(pool);
+        pool.run(distinct.len(), 1024, |s, e| {
+            for (i, &k) in distinct[s..e].iter().enumerate() {
+                distinct_map.insert(k, (s + i) as u32);
+            }
+        });
+        let ids: Vec<u32> = map_index(pool, done, |i| {
+            distinct_map
+                .get(walks[i].0)
+                .expect("destination was inserted")
+        });
+
+        // Integer sort, then run boundaries give per-destination counts.
+        let sorted = counting_sort_by_key(pool, &ids, |&id| id as usize, distinct.len());
+        let boundaries: Vec<u32> = filter_map_index(pool, sorted.len(), |i| {
+            (i == 0 || sorted[i] != sorted[i - 1]).then_some(i as u32)
+        });
+        let scale = 1.0 / done as f64;
+        let entries = map_index(pool, boundaries.len(), |b| {
+            let start = boundaries[b] as usize;
+            let end = boundaries.get(b + 1).map_or(done, |&x| x as usize);
+            (
+                distinct[sorted[start] as usize],
+                (end - start) as f64 * scale,
+            )
+        });
+        ws.rank = Some(distinct_map);
+        entries
     };
-    pool.run(n, 1024, |s, e| {
-        for &(dest, _) in &walks[s..e] {
-            distinct_map.insert(dest, 0);
-        }
-    });
-    let distinct = distinct_map.keys(pool);
-    pool.run(distinct.len(), 1024, |s, e| {
-        for (i, &k) in distinct[s..e].iter().enumerate() {
-            distinct_map.insert(k, (s + i) as u32);
-        }
-    });
-    let ids: Vec<u32> = map_index(pool, n, |i| {
-        distinct_map
-            .get(walks[i].0)
-            .expect("destination was inserted")
-    });
 
-    // Integer sort, then run boundaries give per-destination counts.
-    let sorted = counting_sort_by_key(pool, &ids, |&id| id as usize, distinct.len());
-    let boundaries: Vec<u32> = filter_map_index(pool, sorted.len(), |i| {
-        (i == 0 || sorted[i] != sorted[i - 1]).then_some(i as u32)
-    });
-    let scale = 1.0 / n as f64;
-    let entries: Vec<(u32, f64)> = map_index(pool, boundaries.len(), |b| {
-        let start = boundaries[b] as usize;
-        let end = boundaries.get(b + 1).map_or(n, |&x| x as usize);
-        (
-            distinct[sorted[start] as usize],
-            (end - start) as f64 * scale,
-        )
-    });
-    ws.rank = Some(distinct_map);
-
-    Diffusion::from_entries(entries, stats)
+    let d = Diffusion::from_entries(entries, stats);
+    match tripped {
+        None => Ok(d),
+        Some(trip) => Err(TrippedDiffusion { trip, partial: d }),
+    }
 }
 
 #[cfg(test)]

@@ -41,12 +41,13 @@
 //! (`tests/service_properties.rs` enforces exactly that from multiple OS
 //! threads).
 
+use crate::budget::{EngineLimits, LifecycleSnapshot, QueryError};
 use crate::cache::{GraphCache, GraphSummary};
 use crate::engine::{default_workspace_budget, EngineCore, EngineHandle, PoolRef};
 use crate::ncp::{NcpParams, NcpPoint};
 use crate::result::{ClusterResult, Diffusion};
 use crate::seed::Seed;
-use crate::{Algorithm, Query, WorkspaceBudgetExceeded};
+use crate::{Algorithm, Query};
 use lgc_graph::{CsrBackend, CsrCompressed, Graph};
 use lgc_ligra::DirectionParams;
 use lgc_parallel::Pool;
@@ -188,6 +189,13 @@ impl Service {
         self.entry(name).map(|e| e.core.cache())
     }
 
+    /// Robustness counters of the graph named `name` — admitted /
+    /// completed / shed / tripped / in-flight, next to the cache and
+    /// summary endpoints. A tenant dashboard polls this for shed rates.
+    pub fn lifecycle(&self, name: &str) -> Option<LifecycleSnapshot> {
+        self.entry(name).map(|e| e.core.lifecycle())
+    }
+
     /// Summary statistics of the graph named `name`, served from its
     /// cache (computed on first request, then free). Includes the
     /// backend's resident byte counts, so a deployment can compare plain
@@ -219,9 +227,9 @@ impl Service {
     /// the old graph's engine state — its workspace pool and cache
     /// belong to the graph they were built for. The workspace byte
     /// budget defaults to 4× the graph's resident bytes (clamped to
-    /// `[32 MiB, 1 GiB]`); see [`Service::add_graph_with_budget`].
+    /// `[32 MiB, 1 GiB]`); see [`Service::add_graph_with_limits`].
     pub fn add_graph(&mut self, name: impl Into<String>, graph: impl Into<GraphStore>) {
-        self.insert(name.into(), graph.into(), None);
+        self.insert(name.into(), graph.into(), EngineLimits::default());
     }
 
     /// [`Service::add_graph`] with an explicit resident-workspace byte
@@ -233,7 +241,27 @@ impl Service {
         graph: impl Into<GraphStore>,
         budget_bytes: usize,
     ) {
-        self.insert(name.into(), graph.into(), Some(budget_bytes));
+        self.insert(
+            name.into(),
+            graph.into(),
+            EngineLimits {
+                workspace_budget: Some(budget_bytes),
+                ..Default::default()
+            },
+        );
+    }
+
+    /// [`Service::add_graph`] with the full per-graph [`EngineLimits`]
+    /// bundle: workspace byte budget, in-flight admission cap, and the
+    /// default [`QueryBudget`](crate::QueryBudget) every query on this
+    /// graph inherits (per-query budgets override it field-wise).
+    pub fn add_graph_with_limits(
+        &mut self,
+        name: impl Into<String>,
+        graph: impl Into<GraphStore>,
+        limits: EngineLimits,
+    ) {
+        self.insert(name.into(), graph.into(), limits);
     }
 
     /// [`Service::add_graph`] for graphs the caller also keeps (the
@@ -242,9 +270,17 @@ impl Service {
         self.add_graph(name, graph);
     }
 
-    fn insert(&mut self, name: String, store: GraphStore, budget: Option<usize>) {
-        let budget = budget.unwrap_or_else(|| default_workspace_budget(store.memory_bytes()));
-        let core = EngineCore::new(PoolRef::Shared(Arc::clone(&self.pool)), self.dir, budget);
+    fn insert(&mut self, name: String, store: GraphStore, limits: EngineLimits) {
+        let budget = limits
+            .workspace_budget
+            .unwrap_or_else(|| default_workspace_budget(store.memory_bytes()));
+        let core = EngineCore::new(
+            PoolRef::Shared(Arc::clone(&self.pool)),
+            self.dir,
+            budget,
+            limits.max_in_flight,
+            limits.default_budget,
+        );
         let entry = GraphEntry { name, store, core };
         match self.graphs.iter_mut().find(|e| e.name == entry.name) {
             Some(slot) => *slot = entry,
@@ -305,13 +341,29 @@ impl<'a> ServiceEngine<'a> {
         }
     }
 
-    /// See [`Engine::try_run`](crate::Engine::try_run): refuses with a
-    /// typed error instead of falling back to a transient workspace when
-    /// the graph's workspace byte budget is exhausted.
-    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, WorkspaceBudgetExceeded> {
+    /// See [`Engine::try_run`](crate::Engine::try_run): seed validation,
+    /// admission control, query budgets, and typed [`QueryError`]s with
+    /// partial results — the governed front door.
+    pub fn try_run(&self, query: &Query) -> Result<ClusterResult, QueryError> {
         match self {
             ServiceEngine::Plain(h) => h.try_run(query),
             ServiceEngine::Compressed(h) => h.try_run(query),
+        }
+    }
+
+    /// See [`Engine::try_run_batch`](crate::Engine::try_run_batch).
+    pub fn try_run_batch(&self, queries: &[Query]) -> Vec<Result<ClusterResult, QueryError>> {
+        match self {
+            ServiceEngine::Plain(h) => h.try_run_batch(queries),
+            ServiceEngine::Compressed(h) => h.try_run_batch(queries),
+        }
+    }
+
+    /// See [`Engine::lifecycle_stats`](crate::Engine::lifecycle_stats).
+    pub fn lifecycle_stats(&self) -> LifecycleSnapshot {
+        match self {
+            ServiceEngine::Plain(h) => h.lifecycle_stats(),
+            ServiceEngine::Compressed(h) => h.lifecycle_stats(),
         }
     }
 
@@ -353,7 +405,7 @@ pub struct ServiceBuilder {
     pool: Option<Arc<Pool>>,
     threads: Option<usize>,
     dir: Option<DirectionParams>,
-    graphs: Vec<(String, GraphStore, Option<usize>)>,
+    graphs: Vec<(String, GraphStore, EngineLimits)>,
 }
 
 impl ServiceBuilder {
@@ -387,7 +439,7 @@ impl ServiceBuilder {
     /// name is a deployment bug; post-build [`Service::add_graph`] is
     /// the intentional-replacement path).
     pub fn add_graph(self, name: impl Into<String>, graph: impl Into<GraphStore>) -> Self {
-        self.push(name.into(), graph.into(), None)
+        self.push(name.into(), graph.into(), EngineLimits::default())
     }
 
     /// [`Self::add_graph`] with an explicit resident-workspace byte
@@ -401,7 +453,28 @@ impl ServiceBuilder {
         graph: impl Into<GraphStore>,
         budget_bytes: usize,
     ) -> Self {
-        self.push(name.into(), graph.into(), Some(budget_bytes))
+        self.push(
+            name.into(),
+            graph.into(),
+            EngineLimits {
+                workspace_budget: Some(budget_bytes),
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`Self::add_graph`] with the full per-graph [`EngineLimits`]
+    /// bundle (see [`Service::add_graph_with_limits`]).
+    ///
+    /// # Panics
+    /// If `name` is already registered.
+    pub fn add_graph_with_limits(
+        self,
+        name: impl Into<String>,
+        graph: impl Into<GraphStore>,
+        limits: EngineLimits,
+    ) -> Self {
+        self.push(name.into(), graph.into(), limits)
     }
 
     /// [`Self::add_graph`] for graphs the caller also keeps.
@@ -412,12 +485,12 @@ impl ServiceBuilder {
         self.add_graph(name, graph)
     }
 
-    fn push(mut self, name: String, store: GraphStore, budget: Option<usize>) -> Self {
+    fn push(mut self, name: String, store: GraphStore, limits: EngineLimits) -> Self {
         assert!(
             !self.graphs.iter().any(|(n, _, _)| *n == name),
             "graph {name:?} registered twice"
         );
-        self.graphs.push((name, store, budget));
+        self.graphs.push((name, store, limits));
         self
     }
 
@@ -435,8 +508,8 @@ impl ServiceBuilder {
             dir: self.dir,
             graphs: Vec::new(),
         };
-        for (name, store, budget) in self.graphs {
-            svc.insert(name, store, budget);
+        for (name, store, limits) in self.graphs {
+            svc.insert(name, store, limits);
         }
         svc
     }

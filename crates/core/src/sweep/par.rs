@@ -19,6 +19,7 @@
 use super::{eligible_entries, prefix_conductance, sweep_order_cmp, SweepCut};
 use crate::engine::Workspace;
 use lgc_graph::CsrBackend;
+use lgc_ligra::{Checkpoint, Trip};
 use lgc_parallel::{
     counting_sort_by_key, filter_map_index, map_index, max_by, merge_sort_by, scan_exclusive,
     scan_inclusive, Pool, UnsafeSlice,
@@ -31,7 +32,10 @@ use lgc_sparse::ConcurrentRankMap;
 /// deterministic sort order, integer crossing-edge counts, and float
 /// conductances computed from identical operands.
 pub fn sweep_cut_par<B: CsrBackend>(pool: &Pool, g: &B, p: &[(u32, f64)]) -> SweepCut {
-    sweep_cut_par_ws(pool, g, p, &mut Workspace::new())
+    match sweep_cut_par_ws(pool, g, p, &mut Workspace::new(), &Checkpoint::unlimited()) {
+        Ok(sweep) => sweep,
+        Err(_) => unreachable!("an unlimited checkpoint never trips"),
+    }
 }
 
 /// [`sweep_cut_par`] over the engine's [`Workspace`]: the rank table is
@@ -42,15 +46,24 @@ pub fn sweep_cut_par<B: CsrBackend>(pool: &Pool, g: &B, p: &[(u32, f64)]) -> Swe
 /// All of it is bit-invisible: rank lookups are keyed, never enumerated
 /// (a kept-larger or pre-sized table cannot change any output bit), and
 /// cached degrees are the same integers as the CSR offsets.
+///
+/// The sweep is a single fused pipeline with no iterative refinement, so
+/// `cp` is consulted once on entry (its boundary): cancellation and
+/// deadlines can stop a query between its diffusion and its sweep, while
+/// work caps are the diffusions' domain (the sweep's work is bounded by
+/// the diffusion work that produced `p`). The workspace is untouched
+/// when the entry check trips.
 pub(crate) fn sweep_cut_par_ws<B: CsrBackend>(
     pool: &Pool,
     g: &B,
     p: &[(u32, f64)],
     ws: &mut Workspace,
-) -> SweepCut {
+    cp: &Checkpoint,
+) -> Result<SweepCut, Trip> {
+    cp.tick(0, 0)?;
     let mut scored = eligible_entries(g, p);
     if scored.is_empty() {
-        return SweepCut::empty();
+        return Ok(SweepCut::empty());
     }
     merge_sort_by(pool, &mut scored, sweep_order_cmp);
     let n = scored.len();
@@ -165,12 +178,12 @@ pub(crate) fn sweep_cut_par_ws<B: CsrBackend>(
     .expect("n >= 1");
 
     ws.sweep_rank = Some(rank);
-    SweepCut {
+    Ok(SweepCut {
         order,
         conductances,
         best_size: best_idx + 1,
         best_conductance: best_phi,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -56,6 +56,12 @@
 use lgc_graph::CsrBackend;
 use lgc_parallel::{merge_sort_by, scan_exclusive, Bitset, Pool};
 
+pub mod interrupt;
+
+#[cfg(feature = "fault-inject")]
+pub use interrupt::FaultPlan;
+pub use interrupt::{CancelToken, Checkpoint, Trip};
+
 /// A sparse subset of vertices (the paper's `vertexSubset`).
 ///
 /// Stored as a list of vertex ids. The clustering algorithms keep

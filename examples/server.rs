@@ -16,13 +16,21 @@
 //! fewer bytes resident), and the "mesh" tenant caps its warm workspace
 //! pool with an explicit byte budget.
 //!
+//! Each tenant also declares its **query-lifecycle policy** via
+//! [`plgc::EngineLimits`]: "social" runs under a per-tenant deadline
+//! SLA, "communities" caps deterministic work per query, and "mesh"
+//! bounds concurrency with admission control. Clients call `try_run`,
+//! retry `Overloaded` sheds once, and the server closes with a per-
+//! tenant robustness report — admitted / completed / shed / tripped and
+//! the shed rate — straight from [`Service::lifecycle`] counters.
+//!
 //! ```sh
 //! cargo run --release --example server
 //! ```
 
 use plgc::cluster as lgc;
-use plgc::{Algorithm, Pool, Query, Seed, Service};
-use std::time::Instant;
+use plgc::{Algorithm, EngineLimits, Pool, Query, QueryBudget, QueryError, Seed, Service};
+use std::time::{Duration, Instant};
 
 /// Queries per client thread.
 const QUERIES_PER_CLIENT: usize = 40;
@@ -68,11 +76,41 @@ fn main() {
     let social = plgc::CsrCompressed::from_graph(&plgc::graph::gen::rmat_graph500(12, 8, 7));
     let service = Service::builder()
         .pool(pool)
-        .add_graph("social", social)
-        .add_graph("communities", sbm)
-        // An explicit workspace byte budget: at most 8 MiB of scratch
-        // stays parked (or in flight via `try_run`) for this tenant.
-        .add_graph_with_budget("mesh", plgc::graph::gen::rand_local(4_000, 6, 1), 8 << 20)
+        // Per-tenant SLA: every "social" query runs under a default
+        // wall-clock deadline (individual queries can still override
+        // field-wise via `Query::with_budget`).
+        .add_graph_with_limits(
+            "social",
+            social,
+            EngineLimits {
+                default_budget: QueryBudget::unlimited().with_deadline(Duration::from_millis(250)),
+                ..Default::default()
+            },
+        )
+        // Deterministic work cap: no single "communities" query may
+        // traverse more than 2M edges; heavier ones come back as typed
+        // `WorkBudgetExceeded` errors carrying their best-so-far cut.
+        .add_graph_with_limits(
+            "communities",
+            sbm,
+            EngineLimits {
+                default_budget: QueryBudget::unlimited().with_max_edges_traversed(2_000_000),
+                ..Default::default()
+            },
+        )
+        // An explicit workspace byte budget (at most 8 MiB of scratch
+        // parked or in flight) plus admission control: at most two
+        // "mesh" queries execute concurrently, the rest shed with
+        // `Overloaded` and a retry-after hint.
+        .add_graph_with_limits(
+            "mesh",
+            plgc::graph::gen::rand_local(4_000, 6, 1),
+            EngineLimits {
+                workspace_budget: Some(8 << 20),
+                max_in_flight: Some(2),
+                ..Default::default()
+            },
+        )
         .build();
     let tenants: Vec<&str> = service.names().collect();
     println!("tenants:");
@@ -106,8 +144,26 @@ fn main() {
                         let (tenant, query) = request(tenants, c, i);
                         let engine = service.engine(&tenant).expect("tenant registered");
                         let q0 = Instant::now();
-                        let res = engine.run(&query);
-                        log.push((tenant, q0.elapsed().as_secs_f64(), res.cluster.len()));
+                        // The governed path: typed errors instead of
+                        // unbounded work. Shed requests get one retry.
+                        let outcome = engine.try_run(&query).or_else(|err| {
+                            if matches!(err, QueryError::Overloaded { .. }) {
+                                std::thread::yield_now();
+                                engine.try_run(&query)
+                            } else {
+                                Err(err)
+                            }
+                        });
+                        let cluster_len = match &outcome {
+                            Ok(res) => res.cluster.len(),
+                            // A tripped query still reports its
+                            // best-so-far cut, billable work and all.
+                            Err(e) => e
+                                .partial()
+                                .and_then(|p| p.cluster())
+                                .map_or(0, <[u32]>::len),
+                        };
+                        log.push((tenant, q0.elapsed().as_secs_f64(), cluster_len));
                     }
                     log
                 })
@@ -157,6 +213,25 @@ fn main() {
         println!(
             "  {name:<12} psi tables: {hits} hits / {misses} misses; sweep support high-watermark: {}",
             cache.sweep_hint()
+        );
+    }
+
+    // Robustness: per-tenant lifecycle counters — who was admitted, who
+    // was shed at the door, whose budget tripped mid-flight.
+    println!(
+        "\n{:<12} {:>9} {:>10} {:>6} {:>8} {:>6} {:>10}",
+        "tenant", "admitted", "completed", "shed", "tripped", "invalid", "shed rate"
+    );
+    for name in &tenants {
+        let s = service.lifecycle(name).unwrap();
+        println!(
+            "{name:<12} {:>9} {:>10} {:>6} {:>8} {:>6} {:>9.1}%",
+            s.admitted,
+            s.completed,
+            s.shed(),
+            s.deadline_tripped + s.work_tripped + s.cancelled,
+            s.invalid_seed,
+            s.shed_rate() * 100.0
         );
     }
 }

@@ -131,6 +131,80 @@
 //! assert!(service.engine("tiny").unwrap().try_run(&q).is_ok());
 //! ```
 //!
+//! # Robustness: deadlines, cancellation, budgets, admission control
+//!
+//! A server cannot afford one runaway query: a pathological `(seed, ε)`
+//! pair can push a "local" diffusion into touching most of a billion-edge
+//! graph. Every fallible entry point ([`Engine::try_run`],
+//! [`Engine::try_run_batch`], and their [`Service`] forms) is therefore
+//! *governed*:
+//!
+//! * **Budgets.** A [`QueryBudget`] bounds a query by wall-clock
+//!   deadline, by deterministic work counters (pushed mass updates,
+//!   traversed edges), or until a shared [`CancelToken`] flips. Budgets
+//!   ride on the [`Query`] and merge field-wise over the engine's
+//!   per-graph default ([`EngineBuilder::default_budget`],
+//!   [`EngineLimits`]). Checks are cooperative — one atomic load and a
+//!   coarse clock read per frontier iteration, never per edge — so the
+//!   hot kernels are untouched and *completed* runs are bit-identical
+//!   to unbudgeted ones.
+//! * **Typed trips with partial results.** A tripped query returns
+//!   [`QueryError`] carrying a [`PartialResult`]: the mass settled up to
+//!   the last completed iteration, a best-so-far sweep cut over it, and
+//!   the work counters at the stop — never a panic, and the workspace
+//!   checkout is recycled as if the query had completed. Work-budget
+//!   trips are deterministic (the counters are bit-identical across
+//!   thread counts and storage backends); deadline and cancellation
+//!   trips land wherever the clock does.
+//! * **Admission control.** Per-graph in-flight caps
+//!   ([`EngineBuilder::max_in_flight`]) shed excess arrivals with
+//!   [`QueryError::Overloaded`] and a retry-after hint (the graph's mean
+//!   completed-query latency); seeds are validated against the graph
+//!   before any work ([`QueryError::InvalidSeed`]); workspace byte
+//!   budgets refuse checkouts that would overshoot
+//!   ([`QueryError::WorkspaceBudgetExceeded`]). Transient refusals
+//!   answer [`QueryError::is_retryable`].
+//! * **Counters.** Each graph keeps [`LifecycleSnapshot`] robustness
+//!   counters (admitted / completed / shed / tripped / in-flight) next
+//!   to its [`GraphCache`] stats — [`Engine::lifecycle_stats`],
+//!   [`Service::lifecycle`].
+//!
+//! ```
+//! use plgc::{Algorithm, Engine, PrNibbleParams, Query, QueryBudget, QueryError, Seed};
+//! use std::time::Duration;
+//!
+//! let g = plgc::graph::gen::rand_local(500, 5, 3);
+//! let engine = Engine::builder(&g)
+//!     .threads(2)
+//!     .default_budget(QueryBudget::unlimited().with_deadline(Duration::from_secs(30)))
+//!     .max_in_flight(64)
+//!     .build();
+//! // A tight work cap trips deterministically, with the partial result:
+//! let q = Query::new(
+//!     Seed::single(7),
+//!     Algorithm::PrNibble(PrNibbleParams { eps: 1e-7, ..Default::default() }),
+//! )
+//! .with_budget(QueryBudget::unlimited().with_max_edges_traversed(10));
+//! match engine.try_run(&q) {
+//!     Err(QueryError::WorkBudgetExceeded(partial)) => {
+//!         assert!(partial.stats.edges_traversed >= 10);
+//!         assert!(partial.cluster().is_some(), "best-so-far cut");
+//!     }
+//!     other => panic!("expected a work-budget trip, got {other:?}"),
+//! }
+//! // The engine is fully recovered: the same query, unbudgeted, completes.
+//! assert!(engine.try_run(&q.clone().with_budget(QueryBudget::unlimited())).is_ok());
+//! assert_eq!(engine.lifecycle_stats().work_tripped, 1);
+//! ```
+//!
+//! The infallible [`Engine::run`] keeps its run-to-completion semantics
+//! — budgets and admission control apply only to the `try_` entry
+//! points. The `fault-inject` feature adds a deterministic fault plan to
+//! [`QueryBudget`] for harness use (trip exactly at the k-th checkpoint);
+//! `tests/fault_properties.rs` drives it across all five algorithms,
+//! both CSR backends, and 1–4 threads to prove no-panic, full pool
+//! recovery, and post-fault bitwise determinism.
+//!
 //! # Workspace layout
 //!
 //! * [`parallel`] — thread pool and work-depth primitives (prefix sums,
@@ -150,14 +224,18 @@ pub use lgc_ligra as ligra;
 pub use lgc_parallel as parallel;
 pub use lgc_sparse as sparse;
 
+#[cfg(feature = "fault-inject")]
+pub use lgc_core::FaultPlan;
 pub use lgc_core::{
     evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq, ncp_prnibble, nibble_par,
     nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq, rand_hkpr_par, rand_hkpr_seq,
-    run_batch, sweep_cut_par, sweep_cut_seq, Algorithm, ClusterResult, Diffusion, Direction,
-    DirectionMode, DirectionParams, Engine, EngineBuilder, EngineHandle, EvolvingParams,
-    GraphCache, GraphStore, GraphSummary, HkprParams, LocalDiffusion, NcpParams, NibbleParams,
-    PrNibbleParams, PushRule, Query, RandHkprParams, Seed, Service, ServiceBuilder, ServiceEngine,
-    SweepCut, Workspace, WorkspaceBudgetExceeded,
+    run_batch, sweep_cut_par, sweep_cut_seq, try_run_batch, Algorithm, CancelToken, Checkpoint,
+    ClusterResult, Diffusion, DiffusionStats, Direction, DirectionMode, DirectionParams, Engine,
+    EngineBuilder, EngineHandle, EngineLimits, EvolvingParams, GraphCache, GraphStore,
+    GraphSummary, HkprParams, InvalidSeed, LifecycleSnapshot, LocalDiffusion, NcpParams,
+    NibbleParams, PartialResult, PrNibbleParams, PushRule, Query, QueryBudget, QueryError,
+    RandHkprParams, Seed, Service, ServiceBuilder, ServiceEngine, SweepCut, Trip, TrippedDiffusion,
+    Workspace, WorkspaceBudgetExceeded,
 };
 pub use lgc_graph::{CsrBackend, CsrCompressed, CsrPlain, Graph, GraphBuilder};
 pub use lgc_parallel::Pool;

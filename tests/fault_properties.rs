@@ -1,0 +1,508 @@
+//! Query-lifecycle fault harness: budgets, cancellation, deadlines, and
+//! (behind the `fault-inject` feature) deterministic trips at arbitrary
+//! checkpoint ticks — across all five algorithms, both CSR backends, and
+//! 1–4 threads.
+//!
+//! The contracts under test:
+//!
+//! * **No panics.** A tripped query returns a typed
+//!   [`plgc::QueryError`] whose variant matches the trip cause, carrying
+//!   a [`plgc::PartialResult`] of only-completed work.
+//! * **Full pool recovery.** The workspace checkout a tripped query used
+//!   is recycled like any other: the engine's warm count grows, and the
+//!   next query checks it out normally.
+//! * **Post-fault bitwise determinism.** A warm query issued right after
+//!   a trip is identical to the same query on a cold fresh engine —
+//!   bit-for-bit at one thread (and for the integer/RNG-deterministic
+//!   algorithms at any thread count), within a tight `ℓ₁` tolerance for
+//!   the float diffusions above one thread.
+//! * **Work-budget trips are deterministic**: bit-identical across the
+//!   plain and byte-compressed backends, because they fire on the
+//!   deterministic work counters.
+//!
+//! `FAULT_PROPTEST_CASES` elevates the per-property case count (CI runs
+//! the suite with more cases than the local default).
+
+use plgc::cluster as lgc;
+use plgc::{Algorithm, CancelToken, CsrCompressed, Engine, Query, QueryBudget, QueryError, Seed};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Per-property case count: `FAULT_PROPTEST_CASES` or the local default.
+fn cases(default: u32) -> u32 {
+    std::env::var("FAULT_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn small_graph() -> impl Strategy<Value = (plgc::Graph, Vec<u32>)> {
+    (30usize..200, 0u64..1000).prop_map(|(n, s)| {
+        let g = plgc::graph::gen::rand_local(n.max(30), 4, s);
+        let comp = plgc::graph::largest_component(&g);
+        let seeds: Vec<u32> = comp
+            .iter()
+            .step_by((comp.len() / 8).max(1))
+            .copied()
+            .collect();
+        (g, seeds)
+    })
+}
+
+fn make_algo(kind: usize, tweak: u64) -> Algorithm {
+    match kind {
+        0 => Algorithm::Nibble(lgc::NibbleParams {
+            t_max: 6 + tweak as usize,
+            eps: 1e-6,
+            ..Default::default()
+        }),
+        1 => Algorithm::PrNibble(lgc::PrNibbleParams {
+            alpha: 0.03 * (tweak + 1) as f64,
+            eps: 1e-5,
+            ..Default::default()
+        }),
+        2 => Algorithm::Hkpr(lgc::HkprParams {
+            t: 2.0 + tweak as f64,
+            n_levels: 8,
+            eps: 1e-5,
+            ..Default::default()
+        }),
+        3 => Algorithm::RandHkpr(lgc::RandHkprParams {
+            walks: 1_000 + 500 * tweak as usize,
+            max_len: 8,
+            rng_seed: tweak,
+            ..Default::default()
+        }),
+        _ => Algorithm::Evolving(lgc::EvolvingParams {
+            max_steps: 10 + 5 * tweak as usize,
+            rng_seed: tweak,
+            ..Default::default()
+        }),
+    }
+}
+
+/// Whether this algorithm's parallel run is exactly reproducible at any
+/// thread count (integer/RNG-stream determinism).
+fn exact_at_any_threads(algo: &Algorithm) -> bool {
+    matches!(algo, Algorithm::RandHkpr(_) | Algorithm::Evolving(_))
+}
+
+/// `ℓ₁` distance between two sparse diffusion vectors (union of supports).
+fn l1_distance(a: &lgc::Diffusion, b: &lgc::Diffusion) -> f64 {
+    let mut dist = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.p.len() || j < b.p.len() {
+        match (a.p.get(i), b.p.get(j)) {
+            (Some(&(va, ma)), Some(&(vb, mb))) if va == vb => {
+                dist += (ma - mb).abs();
+                i += 1;
+                j += 1;
+            }
+            (Some(&(va, ma)), Some(&(vb, _))) if va < vb => {
+                dist += ma.abs();
+                i += 1;
+            }
+            (Some(_), Some(&(_, mb))) => {
+                dist += mb.abs();
+                j += 1;
+            }
+            (Some(&(_, ma)), None) => {
+                dist += ma.abs();
+                i += 1;
+            }
+            (None, Some(&(_, mb))) => {
+                dist += mb.abs();
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    dist
+}
+
+/// Post-fault recovery check: the engine that just served a tripped
+/// query must answer `q` exactly like a cold fresh engine at the same
+/// thread count.
+fn assert_recovered<B: plgc::CsrBackend>(
+    engine: &Engine<'_, B>,
+    g: &B,
+    q: &Query,
+    threads: usize,
+    ctx: &str,
+) {
+    let warm = engine.try_run(q).unwrap_or_else(|e| {
+        panic!("{ctx}: unbudgeted query failed after recovery: {e}");
+    });
+    let cold = Engine::builder(g).threads(threads).build().run(q);
+    if threads == 1 || exact_at_any_threads(&q.algo) {
+        assert_eq!(warm.diffusion.p, cold.diffusion.p, "{ctx}: bitwise");
+        assert_eq!(warm.diffusion.stats, cold.diffusion.stats, "{ctx}");
+        assert_eq!(warm.cluster, cold.cluster, "{ctx}");
+        assert_eq!(warm.conductance, cold.conductance, "{ctx}");
+    } else {
+        assert!(
+            l1_distance(&warm.diffusion, &cold.diffusion) < 1e-9,
+            "{ctx}: ℓ₁ drift above tolerance"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    /// A pre-cancelled token trips every algorithm at its first
+    /// checkpoint: typed error, zero-iteration partial, and the engine
+    /// (with its recycled workspace) then answers the same query
+    /// bit-identically to a cold one.
+    #[test]
+    fn pre_cancelled_token_trips_first_tick_and_recovers(
+        (g, seeds) in small_graph(),
+        kind in 0usize..5,
+        tweak in 0u64..3,
+        threads in 1usize..=4,
+    ) {
+        let engine = Engine::builder(&g).threads(threads).build();
+        let token = CancelToken::new();
+        token.cancel();
+        let q = Query::new(Seed::single(seeds[0]), make_algo(kind, tweak));
+        let cancelled = q
+            .clone()
+            .with_budget(QueryBudget::unlimited().with_cancel(token));
+        match engine.try_run(&cancelled) {
+            Err(QueryError::Cancelled(partial)) => {
+                prop_assert_eq!(partial.stats.iterations, 0, "no iteration completed");
+            }
+            other => prop_assert!(false, "expected Cancelled, got {:?}", other.err()),
+        }
+        prop_assert!(engine.warm_workspaces() >= 1, "checkout recycled");
+        assert_recovered(&engine, &g, &q, threads, "post-cancel");
+        let stats = engine.lifecycle_stats();
+        prop_assert_eq!(stats.cancelled, 1);
+        prop_assert_eq!(stats.in_flight, 0);
+    }
+
+    /// An already-expired deadline trips at the first checkpoint, and a
+    /// mid-flight cancellation from another OS thread stops the query
+    /// without corrupting the pool.
+    #[test]
+    fn zero_deadline_trips_and_recovers(
+        (g, seeds) in small_graph(),
+        kind in 0usize..5,
+        threads in 1usize..=2,
+    ) {
+        let engine = Engine::builder(&g).threads(threads).build();
+        let q = Query::new(Seed::single(seeds[0]), make_algo(kind, 1));
+        let expired = q
+            .clone()
+            .with_budget(QueryBudget::unlimited().with_deadline(Duration::ZERO));
+        match engine.try_run(&expired) {
+            Err(QueryError::DeadlineExceeded(partial)) => {
+                prop_assert_eq!(partial.stats.iterations, 0);
+            }
+            other => prop_assert!(false, "expected DeadlineExceeded, got {:?}", other.err()),
+        }
+        assert_recovered(&engine, &g, &q, threads, "post-deadline");
+    }
+
+    /// Work-budget trips fire on the deterministic counters, so the
+    /// outcome — trip-or-complete, the partial vector, and its stats —
+    /// is bit-identical across the plain and byte-compressed backends.
+    #[test]
+    fn work_budget_trips_bitwise_identical_across_backends(
+        (g, seeds) in small_graph(),
+        kind in 0usize..5,
+        tweak in 0u64..3,
+        cap in 0u64..2000,
+    ) {
+        let compact = CsrCompressed::from_graph(&g);
+        let plain = Engine::builder(&g).threads(1).build();
+        let packed = Engine::builder(&compact).threads(1).build();
+        let q = Query::new(Seed::single(seeds[0]), make_algo(kind, tweak))
+            .with_budget(QueryBudget::unlimited().with_max_edges_traversed(cap));
+        let a = plain.try_run(&q);
+        let b = packed.try_run(&q);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.diffusion.p, y.diffusion.p);
+                prop_assert_eq!(x.diffusion.stats, y.diffusion.stats);
+                prop_assert_eq!(x.cluster, y.cluster);
+            }
+            (Err(QueryError::WorkBudgetExceeded(x)), Err(QueryError::WorkBudgetExceeded(y))) => {
+                prop_assert_eq!(x.stats, y.stats, "trip at the same boundary");
+                let (dx, dy) = (x.diffusion.as_ref().unwrap(), y.diffusion.as_ref().unwrap());
+                prop_assert_eq!(&dx.p, &dy.p, "identical partial vectors");
+                let (sx, sy) = (x.sweep.as_ref().unwrap(), y.sweep.as_ref().unwrap());
+                prop_assert_eq!(&sx.conductances, &sy.conductances, "identical best-so-far cut");
+            }
+            (a, b) => prop_assert!(
+                false,
+                "backends disagreed on the trip: plain={:?} compressed={:?}",
+                a.err(),
+                b.err()
+            ),
+        }
+        // Both engines keep answering unbudgeted queries bitwise-cold.
+        let q = Query::new(Seed::single(seeds[0]), make_algo(kind, tweak));
+        assert_recovered(&plain, &g, &q, 1, "post-work-trip plain");
+        assert_recovered(&packed, &compact, &q, 1, "post-work-trip compressed");
+    }
+
+    /// `try_run_batch`: poisoned queries (bad seed, starved budget) fail
+    /// alone with position-aligned typed errors while the rest of the
+    /// batch matches the infallible path bit-for-bit.
+    #[test]
+    fn batch_isolates_poisoned_queries(
+        (g, seeds) in small_graph(),
+        threads in 1usize..=4,
+        tweak in 0u64..3,
+    ) {
+        let engine = Engine::builder(&g).threads(threads).build();
+        let good: Vec<Query> = (0..4)
+            .map(|i| Query::new(Seed::single(seeds[i % seeds.len()]), make_algo(i, tweak)))
+            .collect();
+        let mut queries = good.clone();
+        let bad_seed = g.num_vertices() as u32 + 7;
+        queries.insert(1, Query::new(Seed::single(bad_seed), make_algo(0, 0)));
+        let starved = CancelToken::new();
+        starved.cancel();
+        queries.insert(
+            3,
+            Query::new(Seed::single(seeds[0]), make_algo(4, tweak))
+                .with_budget(QueryBudget::unlimited().with_cancel(starved)),
+        );
+        let out = engine.try_run_batch(&queries);
+        prop_assert_eq!(out.len(), queries.len());
+        match &out[1] {
+            Err(QueryError::InvalidSeed(e)) => {
+                prop_assert_eq!(e.vertex, bad_seed);
+                prop_assert_eq!(e.num_vertices, g.num_vertices());
+            }
+            other => prop_assert!(false, "expected InvalidSeed, got {:?}", other),
+        }
+        prop_assert!(matches!(out[3], Err(QueryError::Cancelled(_))));
+        let want = engine.run_batch(&good);
+        for (got, want) in out
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 1 && i != 3)
+            .map(|(_, r)| r)
+            .zip(&want)
+        {
+            let got = got.as_ref().expect("healthy query completed");
+            prop_assert_eq!(&got.diffusion.p, &want.diffusion.p);
+            prop_assert_eq!(&got.cluster, &want.cluster);
+        }
+    }
+}
+
+/// Admission control: a full in-flight gate sheds with `Overloaded` and
+/// a retry-after hint once latencies exist; the infallible path is never
+/// shed.
+#[test]
+fn overloaded_sheds_with_retry_hint() {
+    let g = plgc::graph::gen::two_cliques_bridge(10);
+    let engine = Engine::builder(&g).threads(1).max_in_flight(0).build();
+    let q = Query::new(
+        Seed::single(0),
+        Algorithm::PrNibble(lgc::PrNibbleParams::default()),
+    );
+    match engine.try_run(&q) {
+        Err(QueryError::Overloaded {
+            in_flight,
+            limit,
+            retry_after,
+        }) => {
+            assert_eq!(limit, 0);
+            assert_eq!(in_flight, 0);
+            assert!(retry_after.is_none(), "no completions yet");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(engine.try_run(&q).unwrap_err().is_retryable());
+    // The infallible path is exempt from the gate and primes the
+    // latency estimate the next shed reports.
+    let _ = engine.run(&q);
+    match engine.try_run(&q) {
+        Err(QueryError::Overloaded { retry_after, .. }) => {
+            assert!(retry_after.is_some(), "mean latency known now");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = engine.lifecycle_stats();
+    assert_eq!(stats.shed_overloaded, 3);
+    assert_eq!(stats.completed, 1);
+    assert!(stats.shed_rate() > 0.0);
+}
+
+/// Seed validation happens at admission: no work, no workspace, typed
+/// error — on single queries and NCP-style multi-vertex seeds alike.
+#[test]
+fn invalid_seed_rejected_at_admission() {
+    let g = plgc::graph::gen::cycle(16);
+    let engine = Engine::builder(&g).threads(1).build();
+    let q = Query::new(
+        Seed::set(vec![3, 99, 5]),
+        Algorithm::Nibble(lgc::NibbleParams::default()),
+    );
+    match engine.try_run(&q) {
+        Err(QueryError::InvalidSeed(e)) => {
+            assert_eq!(e.vertex, 99);
+            assert_eq!(e.num_vertices, 16);
+            assert!(e.to_string().contains("99"));
+        }
+        other => panic!("expected InvalidSeed, got {other:?}"),
+    }
+    assert_eq!(engine.warm_workspaces(), 0, "no workspace was checked out");
+    let stats = engine.lifecycle_stats();
+    assert_eq!(stats.invalid_seed, 1);
+    assert_eq!(stats.admitted, 0);
+}
+
+/// A budgeted NCP scan truncates gracefully: the profile built before
+/// the trip comes back (a valid min-envelope), no panic, and an
+/// unlimited rerun on the same engine is unaffected.
+#[test]
+fn ncp_budget_truncates_gracefully() {
+    let g = plgc::graph::gen::rand_local(200, 5, 8);
+    let engine = Engine::builder(&g).threads(1).build();
+    let params = plgc::NcpParams {
+        num_seeds: 3,
+        alphas: vec![0.1],
+        epsilons: vec![1e-4],
+        rng_seed: 11,
+        ..Default::default()
+    };
+    let full = engine.ncp(&params);
+    let starved = CancelToken::new();
+    starved.cancel();
+    let truncated = engine.ncp(&plgc::NcpParams {
+        budget: QueryBudget::unlimited().with_cancel(starved),
+        ..params.clone()
+    });
+    assert!(
+        truncated.is_empty(),
+        "cancelled before the first grid point"
+    );
+    let capped = engine.ncp(&plgc::NcpParams {
+        budget: QueryBudget::unlimited().with_max_edges_traversed(1),
+        ..params.clone()
+    });
+    assert!(
+        capped.len() <= full.len(),
+        "capped scan is a prefix envelope"
+    );
+    let again = engine.ncp(&params);
+    assert_eq!(full.len(), again.len(), "engine unaffected by the trips");
+    for (a, b) in full.iter().zip(&again) {
+        assert_eq!(a.size, b.size);
+        assert_eq!(a.conductance, b.conductance);
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod fault_injected {
+    use super::*;
+    use plgc::{FaultPlan, Pool, Trip};
+
+    /// The error variant a [`Trip`] kind must surface as.
+    fn matches_kind(err: &QueryError, kind: Trip) -> bool {
+        err.trip() == Some(kind)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+        /// The core fault sweep: trip each algorithm at a random
+        /// checkpoint tick, on either backend, at 1–4 threads. No
+        /// panics, the right error variant, only-completed-work stats,
+        /// full pool recovery, and post-fault bitwise determinism.
+        #[test]
+        fn random_tick_faults_never_corrupt_the_engine(
+            (g, seeds) in small_graph(),
+            kind in 0usize..5,
+            tweak in 0u64..3,
+            after_ticks in 0u64..20,
+            trip_kind in 0usize..3,
+            threads in 1usize..=4,
+            compressed in 0usize..2,
+        ) {
+            let trip = [Trip::Deadline, Trip::WorkBudget, Trip::Cancelled][trip_kind];
+            let plan = FaultPlan { after_ticks, kind: trip };
+            let q = Query::new(Seed::single(seeds[0]), make_algo(kind, tweak));
+            let faulty = q
+                .clone()
+                .with_budget(QueryBudget::unlimited().with_fault(plan));
+            if compressed == 1 {
+                let packed = CsrCompressed::from_graph(&g);
+                let engine = Engine::builder(&packed).threads(threads).build();
+                check_fault(&engine, &packed, &q, &faulty, trip, threads);
+            } else {
+                let engine = Engine::builder(&g).threads(threads).build();
+                check_fault(&engine, &g, &q, &faulty, trip, threads);
+            }
+        }
+
+        /// Injected faults through the *service* front door: a
+        /// multi-tenant pool survives interleaved faulty and healthy
+        /// queries, with per-graph counters attributing every trip.
+        #[test]
+        fn service_survives_interleaved_faults(
+            (g, seeds) in small_graph(),
+            specs in proptest::collection::vec((0usize..5, 0u64..3, 0u64..12, 0usize..3), 3..8),
+        ) {
+            let svc = plgc::Service::builder()
+                .pool(Pool::shared(2))
+                .add_graph("g", g.clone())
+                .build();
+            let engine = svc.engine("g").unwrap();
+            let mut trips = 0u64;
+            for &(kind, tweak, after_ticks, trip_kind) in &specs {
+                let trip = [Trip::Deadline, Trip::WorkBudget, Trip::Cancelled][trip_kind];
+                let q = Query::new(Seed::single(seeds[0]), make_algo(kind, tweak));
+                let faulty = q.clone().with_budget(
+                    QueryBudget::unlimited()
+                        .with_fault(FaultPlan { after_ticks, kind: trip }),
+                );
+                if let Err(e) = engine.try_run(&faulty) {
+                    prop_assert!(matches_kind(&e, trip), "wrong variant: {:?}", e);
+                    trips += 1;
+                }
+                // A healthy query right after every fault.
+                prop_assert!(engine.try_run(&q).is_ok());
+            }
+            let stats = svc.lifecycle("g").unwrap();
+            prop_assert_eq!(
+                stats.cancelled + stats.deadline_tripped + stats.work_tripped,
+                trips
+            );
+            prop_assert_eq!(stats.in_flight, 0);
+        }
+    }
+
+    /// One fault sweep instance; factored out so both backends share it.
+    fn check_fault<B: plgc::CsrBackend>(
+        engine: &Engine<'_, B>,
+        g: &B,
+        q: &Query,
+        faulty: &Query,
+        trip: Trip,
+        threads: usize,
+    ) {
+        match engine.try_run(faulty) {
+            Ok(_) => {
+                // The plan outlived the query: every checkpoint passed.
+                // The instrumentation must not have perturbed the run.
+            }
+            Err(e) => {
+                assert!(matches_kind(&e, trip), "wrong variant for {trip:?}: {e:?}");
+                let partial = e.partial().expect("mid-run trips carry partials");
+                if let Some(d) = &partial.diffusion {
+                    assert_eq!(d.stats.iterations, partial.stats.iterations);
+                }
+            }
+        }
+        assert!(engine.warm_workspaces() >= 1, "checkout recycled");
+        assert_recovered(engine, g, q, threads, "post-fault");
+        assert_eq!(engine.lifecycle_stats().in_flight, 0);
+    }
+}

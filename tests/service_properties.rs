@@ -272,13 +272,21 @@ fn exhausted_workspace_budget_is_a_typed_error_not_a_panic() {
     // ...but restoring it recorded its true footprint, so the next
     // budgeted checkout is denied — with the numbers, not a panic.
     let err = svc.engine("tiny").unwrap().try_run(&q).unwrap_err();
-    assert_eq!(err.budget_bytes, 1);
-    assert_eq!(err.in_flight_bytes, 0);
+    let plgc::QueryError::WorkspaceBudgetExceeded(denied) = &err else {
+        panic!("expected a workspace-budget refusal, got {err:?}");
+    };
+    assert_eq!(denied.budget_bytes, 1);
+    assert_eq!(denied.in_flight_bytes, 0);
     assert!(
-        err.requested_bytes > 1,
+        denied.requested_bytes > 1,
         "watermark learned from the restore"
     );
+    assert!(err.is_retryable(), "budget refusals are transient");
     assert!(err.to_string().contains("budget"));
+    // The shed shows up in the graph's lifecycle counters.
+    let stats = svc.lifecycle("tiny").unwrap();
+    assert_eq!(stats.shed_workspace, 1);
+    assert_eq!(stats.completed, 1);
     // The infallible front door degrades to a transient workspace and
     // stays bitwise equal to a cold engine.
     let again = svc.engine("tiny").unwrap().run(&q);
