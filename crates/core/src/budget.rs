@@ -234,6 +234,15 @@ impl fmt::Display for InvalidSeed {
 
 impl std::error::Error for InvalidSeed {}
 
+/// Floor for the [`Overloaded`](QueryError::Overloaded) retry-after
+/// hint. The hint is the graph's mean completed-query latency, which is
+/// degenerate at cold start (no completions yet) and can round to zero
+/// nanoseconds right after the first sub-microsecond completion; a
+/// client honoring a zero backoff would busy-spin against a full
+/// admission gate. 100 µs is well under any real diffusion latency but
+/// long enough to turn a retry storm into a polite poll.
+pub const RETRY_AFTER_FLOOR: Duration = Duration::from_micros(100);
+
 /// The unified error surface of the fallible query entry points.
 ///
 /// # Retryability
@@ -270,8 +279,11 @@ pub enum QueryError {
         in_flight: usize,
         /// The configured cap.
         limit: usize,
-        /// Mean completed-query latency on this graph, as a hint for
-        /// when to retry (`None` before the first completion).
+        /// When to retry: the graph's mean completed-query latency,
+        /// floored at [`RETRY_AFTER_FLOOR`] so the hint is usable even
+        /// at cold start. The engine always sets this; it is `Option`
+        /// for constructors that have no engine behind them (e.g. a
+        /// decoded wire error).
         retry_after: Option<Duration>,
     },
 }
@@ -453,6 +465,17 @@ impl LifecycleCounters {
         ))
     }
 
+    /// The `Overloaded` retry-after hint with the cold-start edge
+    /// handled: before the first completion there is no mean latency
+    /// (and just after it the integer mean can round to zero), so the
+    /// hint is floored at [`RETRY_AFTER_FLOOR`]. A shed response
+    /// therefore always carries a usable, non-zero backoff.
+    pub(crate) fn retry_hint(&self) -> Duration {
+        self.mean_latency()
+            .unwrap_or(RETRY_AFTER_FLOOR)
+            .max(RETRY_AFTER_FLOOR)
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> LifecycleSnapshot {
         LifecycleSnapshot {
@@ -565,6 +588,27 @@ mod tests {
         assert_eq!(s.deadline_tripped, 1);
         assert!((s.shed_rate() - 0.5).abs() < 1e-12);
         assert_eq!(c.mean_latency(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn retry_hint_is_floored_at_cold_start() {
+        // Zero completed queries: no mean latency exists, but the hint
+        // must still be a usable non-zero backoff.
+        let c = LifecycleCounters::default();
+        assert_eq!(c.mean_latency(), None);
+        assert_eq!(c.retry_hint(), RETRY_AFTER_FLOOR);
+
+        // A first completion so fast the integer mean rounds to ~zero
+        // still gets the floor, not a busy-spin hint.
+        c.note_completed(Duration::from_nanos(1));
+        assert!(c.mean_latency().unwrap() < RETRY_AFTER_FLOOR);
+        assert_eq!(c.retry_hint(), RETRY_AFTER_FLOOR);
+
+        // Once the mean clears the floor, the hint tracks it.
+        c.note_completed(Duration::from_millis(20));
+        let mean = c.mean_latency().unwrap();
+        assert!(mean > RETRY_AFTER_FLOOR);
+        assert_eq!(c.retry_hint(), mean);
     }
 
     #[test]

@@ -1198,7 +1198,7 @@ impl<'a, B: CsrBackend> EngineHandle<'a, B> {
             return Err(QueryError::Overloaded {
                 in_flight: occupied,
                 limit: self.governor.max_in_flight.unwrap_or(usize::MAX),
-                retry_after: counters.mean_latency(),
+                retry_after: Some(counters.retry_hint()),
             });
         }
         let out = self.try_run_admitted(query);

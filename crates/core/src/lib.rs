@@ -69,7 +69,7 @@ mod sweep;
 pub use batch::{run_batch, try_run_batch};
 pub use budget::{
     EngineLimits, InvalidSeed, LifecycleSnapshot, PartialResult, QueryBudget, QueryError,
-    TrippedDiffusion,
+    TrippedDiffusion, RETRY_AFTER_FLOOR,
 };
 pub use cache::{GraphCache, GraphSummary};
 pub use engine::{

@@ -212,6 +212,16 @@ impl Service {
         self.graphs.iter().map(|e| e.name.as_str())
     }
 
+    /// Registered graph names, sorted — the listing endpoint for
+    /// serving layers (the `lgc-server` `LIST` request and metrics
+    /// page), where a stable order matters more than registration
+    /// order.
+    pub fn graph_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.graphs.iter().map(|e| e.name.clone()).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Number of registered graphs.
     pub fn num_graphs(&self) -> usize {
         self.graphs.len()
@@ -546,6 +556,24 @@ mod tests {
         let s = svc.summary("local").unwrap();
         assert_eq!(s.num_vertices, 200);
         assert!(svc.summary("absent").is_none());
+    }
+
+    #[test]
+    fn graph_names_listing_is_sorted() {
+        let mut svc = Service::builder()
+            .pool(Pool::shared(1))
+            .add_graph("zeta", gen::cycle(4))
+            .add_graph("alpha", gen::cycle(5))
+            .build();
+        svc.add_graph("mid", gen::star(3));
+        // `names()` keeps registration order; `graph_names()` sorts.
+        assert_eq!(
+            svc.names().collect::<Vec<_>>(),
+            vec!["zeta", "alpha", "mid"]
+        );
+        assert_eq!(svc.graph_names(), vec!["alpha", "mid", "zeta"]);
+        svc.remove_graph("mid");
+        assert_eq!(svc.graph_names(), vec!["alpha", "zeta"]);
     }
 
     #[test]

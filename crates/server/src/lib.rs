@@ -1,0 +1,374 @@
+//! `lgc-server`: a TCP front door for the local-clustering
+//! [`Service`] — the serving layer ROADMAP item 2 asks for, built
+//! entirely on `std::net` (no async runtime, no external deps).
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client ──TCP──▶ reader thread ──▶ two-class Scheduler ──▶ executor pool
+//!                     │                 (interactive ▶ bulk,     │
+//!                     │                  bounded, sheds)         ▼
+//!                     │                                   ServiceEngine::try_run
+//!  client ◀──TCP── writer thread ◀── mpsc ◀───────────────────────┘
+//! ```
+//!
+//! Each accepted connection gets a **reader** thread (decodes
+//! [`frame`]s, answers control requests inline, enqueues queries) and a
+//! **writer** thread (serializes responses from an mpsc channel, so
+//! executors never block on a slow client socket). Queries from every
+//! connection funnel into one bounded two-class [`sched::Scheduler`];
+//! a small **executor** pool pops jobs — every queued interactive query
+//! ahead of any bulk query — and runs them through
+//! [`ServiceEngine::try_run`](lgc_core::ServiceEngine::try_run), which supplies the engine-side
+//! governance (admission control, workspace budgets, deadlines,
+//! cooperative cancellation) landed in the lifecycle PR.
+//!
+//! Backpressure is explicit at three gates, each with a typed,
+//! retryable wire error carrying a `retry_after` hint:
+//!
+//! 1. **per-connection in-flight cap** — one client cannot occupy the
+//!    whole server ([`WireError::QueueFull`]);
+//! 2. **per-class bounded queue** — overload sheds at enqueue instead
+//!    of queueing unboundedly ([`WireError::QueueFull`]);
+//! 3. **per-tenant admission control** — the engine's in-flight cap
+//!    and workspace byte budget ([`WireError::Overloaded`] /
+//!    [`WireError::WorkspaceBudgetExceeded`]).
+//!
+//! A disconnecting client cancels its queued and running queries via
+//! the connection's [`CancelToken`], so abandoned work stops at the
+//! next diffusion checkpoint instead of running to completion.
+//!
+//! Bulk queries additionally inherit the server's
+//! [`bulk_budget`](ServerConfig::bulk_budget) (field-wise, per-query
+//! budgets win), which keeps batch scans yielding through the
+//! checkpoint machinery while interactive traffic flows past them.
+
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod sched;
+pub mod wire;
+
+mod conn;
+
+pub use sched::{PushError, Scheduler, SchedulerMode};
+pub use wire::{Priority, QueryRequest, WireError, WirePartial};
+
+use lgc_core::{CancelToken, QueryBudget, Service, RETRY_AFTER_FLOOR};
+use metrics::ServerMetrics;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Tuning knobs for [`Server::bind`]. `Default` is sized for a small
+/// deployment and for tests; every field is independent.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Scheduling policy ([`SchedulerMode::Priority`] by default;
+    /// [`SchedulerMode::Fifo`] exists for benchmarking the policy).
+    pub mode: SchedulerMode,
+    /// Executor threads popping the scheduler. Keep this at or below
+    /// the service pool's thread count times a small factor — executors
+    /// serialize on the shared pool anyway.
+    pub executors: usize,
+    /// Bound of the interactive class queue.
+    pub interactive_queue_cap: usize,
+    /// Bound of the bulk class queue (deeper: bulk tolerates waiting).
+    pub bulk_queue_cap: usize,
+    /// Max queries a single connection may have queued + executing.
+    pub conn_inflight_cap: usize,
+    /// Default budget merged (field-wise, query wins) into every
+    /// bulk-class query, bounding each bulk slice so the checkpoint
+    /// machinery yields. `unlimited()` disables the merge.
+    pub bulk_budget: QueryBudget,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mode: SchedulerMode::Priority,
+            executors: 2,
+            interactive_queue_cap: 64,
+            bulk_queue_cap: 256,
+            conn_inflight_cap: 32,
+            bulk_budget: QueryBudget::unlimited(),
+        }
+    }
+}
+
+/// One response frame traveling from an executor (or the reader's
+/// inline control handling) to a connection's writer thread.
+pub(crate) type Outgoing = (frame::FrameKind, u32, Vec<u8>);
+
+/// A query admitted past the connection gates, waiting in (or popped
+/// from) the scheduler.
+pub(crate) struct Job {
+    pub(crate) req: QueryRequest,
+    pub(crate) frame_id: u32,
+    /// Enqueue time: recorded latency includes queue wait, which is
+    /// exactly where the priority policy shows up.
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: mpsc::Sender<Outgoing>,
+    /// The owning connection's token — cancelled on disconnect.
+    pub(crate) cancel: CancelToken,
+    /// The owning connection's in-flight count, decremented when the
+    /// job leaves the system (response sent or job abandoned).
+    pub(crate) conn_inflight: Arc<AtomicUsize>,
+}
+
+/// State shared by the listener, every connection, and every executor.
+pub(crate) struct Shared {
+    pub(crate) service: Arc<Service>,
+    pub(crate) sched: Scheduler<Job>,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutting_down: AtomicBool,
+}
+
+impl Shared {
+    /// Renders the metrics page with live queue depths.
+    pub(crate) fn metrics_page(&self) -> String {
+        let depths = [Priority::Interactive, Priority::Bulk]
+            .map(|c| (self.sched.depth(c), self.sched.cap(c)));
+        self.metrics.render(&self.service, depths)
+    }
+
+    /// Retry hint for server-side sheds: the observed mean latency of
+    /// the (tenant, class) slot, floored like the engine's hint.
+    pub(crate) fn shed_retry_hint(&self, tenant: &str, class: Priority) -> std::time::Duration {
+        self.metrics
+            .class(tenant, class)
+            .latency
+            .mean()
+            .unwrap_or(RETRY_AFTER_FLOOR)
+            .max(RETRY_AFTER_FLOOR)
+    }
+}
+
+/// Entry point: binds a listener and spawns the serving threads.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `service` with `config`. Returns immediately; the
+    /// returned handle owns every spawned thread and tears the server
+    /// down on [`RunningServer::shutdown`] or drop.
+    pub fn bind(
+        service: Arc<Service>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<RunningServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let executors = config.executors.max(1);
+        let shared = Arc::new(Shared {
+            service,
+            sched: Scheduler::new(
+                config.mode,
+                config.interactive_queue_cap,
+                config.bulk_queue_cap,
+            ),
+            metrics: ServerMetrics::default(),
+            config,
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let exec_threads: Vec<JoinHandle<()>> = (0..executors)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("lgc-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn executor")
+            })
+            .collect();
+
+        let conn_streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let conn_streams = Arc::clone(&conn_streams);
+            let conn_threads = Arc::clone(&conn_threads);
+            thread::Builder::new()
+                .name("lgc-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutting_down.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        shared
+                            .metrics
+                            .connections_opened
+                            .fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            conn_streams.lock().unwrap().push(clone);
+                        }
+                        let shared2 = Arc::clone(&shared);
+                        let handle = thread::Builder::new()
+                            .name("lgc-conn".into())
+                            .spawn(move || conn::handle_connection(&shared2, stream))
+                            .expect("spawn connection thread");
+                        conn_threads.lock().unwrap().push(handle);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(RunningServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            exec_threads,
+            conn_streams,
+            conn_threads,
+        })
+    }
+}
+
+/// Handle to a live server: address, metrics, and teardown. Dropping
+/// it shuts the server down (all threads joined, sockets closed).
+pub struct RunningServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    exec_threads: Vec<JoinHandle<()>>,
+    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RunningServer {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served [`Service`].
+    pub fn service(&self) -> &Arc<Service> {
+        &self.shared.service
+    }
+
+    /// Server-side metrics registry (shared with every connection).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Renders the metrics page exactly as a `METRICS` request would.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_page()
+    }
+
+    /// Stops accepting, cancels and drains in-flight work, closes every
+    /// connection, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Close every connection socket: readers see EOF, cancel their
+        // tokens, and exit; writers drain and follow.
+        for s in self.conn_streams.lock().unwrap().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Refuse new work, fail anything still queued back to (now
+        // likely gone) clients, and let executors drain to None.
+        self.shared.sched.shutdown();
+        for (_, job) in self.shared.sched.drain() {
+            job.conn_inflight.fetch_sub(1, Ordering::AcqRel);
+            let _ = job.reply.send((
+                frame::FrameKind::Error,
+                job.frame_id,
+                wire::encode_error(&WireError::ShuttingDown),
+            ));
+        }
+        for t in self.exec_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.conn_threads.lock().unwrap().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Executor: pop → govern → run → reply, until shutdown + drained.
+fn executor_loop(shared: &Shared) {
+    while let Some((class, job)) = shared.sched.pop() {
+        run_job(shared, class, job);
+    }
+}
+
+fn run_job(shared: &Shared, class: Priority, job: Job) {
+    let slot = shared.metrics.class(&job.req.tenant, class);
+    // Whatever happens below, the job leaves the connection's in-flight
+    // count when this function returns.
+    struct InflightGuard<'a>(&'a AtomicUsize);
+    impl Drop for InflightGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let _guard = InflightGuard(&job.conn_inflight);
+
+    if job.cancel.is_cancelled() {
+        // The connection is gone; there is nobody to answer.
+        return;
+    }
+    let Some(engine) = shared.service.engine(&job.req.tenant) else {
+        // Tenant existed at enqueue but was removed since.
+        let _ = job.reply.send((
+            frame::FrameKind::Error,
+            job.frame_id,
+            wire::encode_error(&WireError::UnknownGraph {
+                tenant: job.req.tenant.clone(),
+            }),
+        ));
+        slot.errored.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+
+    let mut query = job.req.query.clone();
+    if class == Priority::Bulk {
+        query.budget = query.budget.or(&shared.config.bulk_budget);
+    }
+    query.budget.cancel = Some(job.cancel.clone());
+
+    let outcome = engine.try_run(&query);
+    let latency = job.enqueued.elapsed();
+    let (kind, payload) = match outcome {
+        Ok(res) => {
+            slot.latency.record(latency);
+            slot.completed.fetch_add(1, Ordering::Relaxed);
+            (frame::FrameKind::Result, wire::encode_result(&res))
+        }
+        Err(e) => {
+            let w = WireError::from_query_error(&e);
+            slot.errored.fetch_add(1, Ordering::Relaxed);
+            if w.is_retryable() {
+                slot.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            (frame::FrameKind::Error, wire::encode_error(&w))
+        }
+    };
+    let _ = job.reply.send((kind, job.frame_id, payload));
+}

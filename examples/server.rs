@@ -1,7 +1,14 @@
-//! A multi-tenant query server simulation — the workload the [`Service`]
-//! was designed for: several resident graphs, one shared thread pool,
-//! many concurrent clients issuing mixed-algorithm local-cluster
-//! queries.
+//! A multi-tenant query server **simulation** — in-process, no sockets:
+//! the workload the [`Service`] was designed for, with several resident
+//! graphs, one shared thread pool, and many concurrent client threads
+//! issuing mixed-algorithm local-cluster queries.
+//!
+//! For the real network front door — a TCP listener speaking the
+//! length-prefixed binary protocol, with priority scheduling, per-tenant
+//! quotas, and a Prometheus-style metrics endpoint — see the
+//! `lgc-server` binary and [`plgc::server`] (protocol spec in
+//! `crates/server/PROTOCOL.md`). This example keeps everything in one
+//! process so the Service/EngineHandle mechanics stay easy to read.
 //!
 //! Three tenants register their graphs (a social-network stand-in, a
 //! planted-community SBM, a mesh-like local graph); a fleet of client

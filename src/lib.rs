@@ -205,6 +205,54 @@
 //! both CSR backends, and 1–4 threads to prove no-panic, full pool
 //! recovery, and post-fault bitwise determinism.
 //!
+//! # Serving over the network: `lgc-server`
+//!
+//! The [`server`] crate puts a real TCP front door on a [`Service`]:
+//! the `lgc-server` binary speaks a length-prefixed binary protocol
+//! (spec: `crates/server/PROTOCOL.md`) built on `std::net` only. Each
+//! connection gets a reader and a writer thread; queries funnel through
+//! a bounded **two-class priority scheduler** (interactive dispatches
+//! ahead of bulk, bulk inherits a server work budget so scans keep
+//! yielding through the checkpoint machinery), and three explicit
+//! backpressure gates shed overload with typed, retryable errors
+//! carrying `retry_after` hints: the per-connection in-flight cap, the
+//! per-class queue bound, and the engine's own admission control. A
+//! `METRICS` request (or `lgc-server --metrics-once`) renders
+//! Prometheus-style text: per-tenant × per-class latency quantiles,
+//! queue depths, [`GraphCache`] hit rates, and [`LifecycleSnapshot`]
+//! counters. Responses are **bit-identical** to direct [`Engine`] runs
+//! of the same queries — `f64`s travel as raw bits — a contract the
+//! loopback suite (`crates/server/tests/loopback.rs`) enforces over
+//! real sockets with concurrent mixed-tenant clients:
+//!
+//! ```
+//! use plgc::server::{client::Client, Priority, Server, ServerConfig};
+//! use plgc::{Algorithm, PrNibbleParams, Query, Seed, Service};
+//! use std::sync::Arc;
+//!
+//! let mut svc = Service::builder().threads(1).build();
+//! svc.add_graph("social", plgc::graph::gen::two_cliques_bridge(16));
+//! let server = Server::bind(Arc::new(svc), "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! assert_eq!(client.list().unwrap(), vec!["social"]);
+//! let result = client
+//!     .query("social", Priority::Interactive, &Query::new(
+//!         Seed::single(0),
+//!         Algorithm::PrNibble(PrNibbleParams::default()),
+//!     ))
+//!     .unwrap()   // transport ok
+//!     .unwrap();  // server answered with a result, not a typed error
+//! assert_eq!(result.cluster.len(), 16);
+//! server.shutdown();
+//! ```
+//!
+//! `examples/server.rs` remains the in-process, no-sockets simulation
+//! of the same serving loop; `bench_server` (in `crates/bench`) records
+//! sustained qps and p50/p95/p99 per tenant class — including the
+//! interactive-vs-bulk A/B that measures what the priority scheduler
+//! buys — to `BENCH_server.json`.
+//!
 //! # Workspace layout
 //!
 //! * [`parallel`] — thread pool and work-depth primitives (prefix sums,
@@ -217,11 +265,15 @@
 //! * [`cluster`] — the paper's algorithms behind the [`Engine`] and
 //!   [`Service`]: Nibble, PR-Nibble, HK-PR, rand-HK-PR, evolving sets,
 //!   sweep cuts, and NCP plots.
+//! * [`server`] — the TCP front door: frame codec, wire types, the
+//!   two-class scheduler, per-tenant metrics, the blocking client, and
+//!   the `lgc-server` binary.
 
 pub use lgc_core as cluster;
 pub use lgc_graph as graph;
 pub use lgc_ligra as ligra;
 pub use lgc_parallel as parallel;
+pub use lgc_server as server;
 pub use lgc_sparse as sparse;
 
 #[cfg(feature = "fault-inject")]
@@ -235,7 +287,7 @@ pub use lgc_core::{
     GraphSummary, HkprParams, InvalidSeed, LifecycleSnapshot, LocalDiffusion, NcpParams,
     NibbleParams, PartialResult, PrNibbleParams, PushRule, Query, QueryBudget, QueryError,
     RandHkprParams, Seed, Service, ServiceBuilder, ServiceEngine, SweepCut, Trip, TrippedDiffusion,
-    Workspace, WorkspaceBudgetExceeded,
+    Workspace, WorkspaceBudgetExceeded, RETRY_AFTER_FLOOR,
 };
 pub use lgc_graph::{CsrBackend, CsrCompressed, CsrPlain, Graph, GraphBuilder};
 pub use lgc_parallel::Pool;

@@ -314,7 +314,10 @@ fn overloaded_sheds_with_retry_hint() {
         }) => {
             assert_eq!(limit, 0);
             assert_eq!(in_flight, 0);
-            assert!(retry_after.is_none(), "no completions yet");
+            // Cold start: no completions yet, so the hint falls back to
+            // the floor instead of a useless `None` the client would
+            // have to special-case.
+            assert_eq!(retry_after, Some(plgc::RETRY_AFTER_FLOOR));
         }
         other => panic!("expected Overloaded, got {other:?}"),
     }
@@ -324,7 +327,8 @@ fn overloaded_sheds_with_retry_hint() {
     let _ = engine.run(&q);
     match engine.try_run(&q) {
         Err(QueryError::Overloaded { retry_after, .. }) => {
-            assert!(retry_after.is_some(), "mean latency known now");
+            let hint = retry_after.expect("mean latency known now");
+            assert!(hint >= plgc::RETRY_AFTER_FLOOR, "hint stays floored");
         }
         other => panic!("expected Overloaded, got {other:?}"),
     }
