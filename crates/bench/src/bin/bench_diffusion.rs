@@ -39,6 +39,13 @@
 //! both backends (`pull_plain{t}_s` / `pull_comp{t}_s`), isolating the
 //! per-edge decode overhead the shrink costs.
 //!
+//! The `flow` section prices the max-flow refinement stage: the
+//! high-volume PR-Nibble sweep cut put through `Engine::improve` (MQI),
+//! recording the conductance improvement ratio (`phi_ratio` =
+//! refined/sweep, ≤ 1 by the monotonicity contract) and the refine
+//! wall-clock per engine thread count (`refine{t}_s`; the stage is
+//! sequential, so the columns should agree).
+//!
 //! The `robustness` section prices the query-lifecycle machinery: the
 //! same warm high-volume PR-Nibble query through the infallible `run`
 //! (`plain{t}_s`) vs the governed `try_run` under a fully-armed but
@@ -175,6 +182,109 @@ impl RobustRow {
         }
         s.push('}');
         s
+    }
+}
+
+/// One `flow` measurement: the max-flow refinement stage priced per
+/// graph — the high-volume PR-Nibble sweep cut refined by MQI
+/// (`Engine::improve`), recording the conductance improvement
+/// (`phi_ratio` = refined/sweep, ≤ 1 by the monotonicity contract) and
+/// the refine wall-clock at each engine thread count (refinement is
+/// sequential by design, so the columns double as a check that the
+/// stage's cost is thread-count independent).
+struct FlowRow {
+    graph: String,
+    phi_sweep: f64,
+    phi_refined: f64,
+    cluster_in: usize,
+    cluster_out: usize,
+    refine_s: [f64; THREADS.len()],
+}
+
+impl FlowRow {
+    fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"graph\": \"{}\", \"phi_sweep\": {:.6}, \"phi_refined\": {:.6}, \"phi_ratio\": {:.3}, \"cluster_in\": {}, \"cluster_out\": {}",
+            self.graph,
+            self.phi_sweep,
+            self.phi_refined,
+            if self.phi_sweep > 0.0 {
+                self.phi_refined / self.phi_sweep
+            } else {
+                1.0
+            },
+            self.cluster_in,
+            self.cluster_out
+        );
+        for (t, secs) in THREADS.iter().zip(self.refine_s) {
+            let _ = write!(s, ", \"refine{t}_s\": {secs:.6}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Runs the high-volume PR-Nibble query warm, then times
+/// `Engine::improve` of its sweep cut at each thread count.
+fn bench_flow(sg: &SuiteGraph, reps: usize) -> FlowRow {
+    let g = &sg.graph;
+    let seed = Seed::single(suite_seed(g));
+    // The high-volume settings can swallow an entire connected component
+    // on some stand-ins — a zero-conductance "cut" that leaves max-flow
+    // nothing to improve. Back off along a deterministic eps ladder until
+    // the sweep cut is a proper cut.
+    let prnibble = |eps: f64| {
+        lgc::Algorithm::PrNibble(lgc::PrNibbleParams {
+            alpha: 0.01,
+            eps,
+            ..Default::default()
+        })
+    };
+    let probe = Engine::builder(g).threads(1).build();
+    let mut eps = 1e-6;
+    for &candidate in &[1e-6, 1e-5, 1e-4, 1e-3] {
+        eps = candidate;
+        let r = probe.run(&lgc::Query::new(seed.clone(), prnibble(candidate)));
+        if r.conductance > 0.0 {
+            break;
+        }
+    }
+    let q = lgc::Query::new(seed, prnibble(eps));
+    let mut refine_s = [0.0; THREADS.len()];
+    let mut refined = None;
+    let mut result = None;
+    for (i, &t) in THREADS.iter().enumerate() {
+        let engine = Engine::builder(g).threads(t).build();
+        let r = engine.run(&q);
+        engine.improve(&r); // prime (allocator warm-up, like the rows above)
+        let (f, secs) = time_best_of(reps, || engine.improve(&r));
+        refine_s[i] = secs;
+        assert!(
+            f.conductance <= r.conductance,
+            "refinement must never worsen conductance"
+        );
+        refined = Some(f);
+        result = Some(r);
+    }
+    let (result, refined) = (result.unwrap(), refined.unwrap());
+    eprintln!(
+        "  {:<10} phi {:.4} -> {:.4} ({} -> {} vertices)  refine {:?}ms",
+        "flow",
+        result.conductance,
+        refined.conductance,
+        result.cluster.len(),
+        refined.cluster.len(),
+        refine_s.map(|s| (s * 1e4).round() / 10.0)
+    );
+    FlowRow {
+        graph: sg.name.to_string(),
+        phi_sweep: result.conductance,
+        phi_refined: refined.conductance,
+        cluster_in: result.cluster.len(),
+        cluster_out: refined.cluster.len(),
+        refine_s,
     }
 }
 
@@ -657,6 +767,7 @@ fn main() {
     let mut svc_rows: Vec<SvcRow> = Vec::new();
     let mut comp_rows: Vec<CompRow> = Vec::new();
     let mut robust_rows: Vec<RobustRow> = Vec::new();
+    let mut flow_rows: Vec<FlowRow> = Vec::new();
     let mut benched: Vec<&SuiteGraph> = Vec::new();
     for sg in &graphs {
         if let Some(only) = &only {
@@ -675,6 +786,7 @@ fn main() {
         svc_rows.push(svc_row);
         robust_rows.push(robust_row);
         comp_rows.push(bench_compression(sg, reps));
+        flow_rows.push(bench_flow(sg, reps));
         benched.push(sg);
     }
     // The 2-graph shared-pool stream: the first two benched graphs, or
@@ -779,6 +891,13 @@ fn main() {
     let _ = writeln!(json, "  \"robustness\": [");
     let robust_lines: Vec<String> = robust_rows.iter().map(RobustRow::to_json_line).collect();
     let _ = writeln!(json, "{}", robust_lines.join(",\n"));
+    json.push_str("  ],\n");
+    // The max-flow refinement stage: conductance improvement of the
+    // high-volume PR-Nibble cut (`phi_ratio` ≤ 1 by contract) and the
+    // sequential refine wall-clock per engine thread count.
+    let _ = writeln!(json, "  \"flow\": [");
+    let flow_lines: Vec<String> = flow_rows.iter().map(FlowRow::to_json_line).collect();
+    let _ = writeln!(json, "{}", flow_lines.join(",\n"));
     json.push_str("  ]");
     if let Some((path, base_rows)) = &baseline {
         json.push_str(",\n");

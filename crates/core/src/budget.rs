@@ -402,6 +402,8 @@ pub struct LifecycleCounters {
     work_tripped: AtomicU64,
     in_flight: AtomicUsize,
     busy_nanos: AtomicU64,
+    refined: AtomicU64,
+    refine_improved: AtomicU64,
 }
 
 impl LifecycleCounters {
@@ -427,6 +429,13 @@ impl LifecycleCounters {
 
     pub(crate) fn note_invalid_seed(&self) {
         self.invalid_seed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_refined(&self, improved: bool) {
+        self.refined.fetch_add(1, Ordering::Relaxed);
+        if improved {
+            self.refine_improved.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn note_trip(&self, trip: Trip) {
@@ -488,6 +497,8 @@ impl LifecycleCounters {
             deadline_tripped: self.deadline_tripped.load(Ordering::Relaxed),
             work_tripped: self.work_tripped.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            refined: self.refined.load(Ordering::Relaxed),
+            refine_improved: self.refine_improved.load(Ordering::Relaxed),
         }
     }
 }
@@ -513,6 +524,11 @@ pub struct LifecycleSnapshot {
     pub work_tripped: u64,
     /// Queries executing right now.
     pub in_flight: usize,
+    /// Max-flow refinements run to completion
+    /// ([`Engine::improve`](crate::Engine::improve) and the pipeline).
+    pub refined: u64,
+    /// Refinements that strictly lowered the cut's conductance.
+    pub refine_improved: u64,
 }
 
 impl LifecycleSnapshot {

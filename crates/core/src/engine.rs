@@ -1112,6 +1112,47 @@ impl<'g, B: CsrBackend> Engine<'g, B> {
     pub fn ncp(&self, params: &NcpParams) -> Vec<NcpPoint> {
         self.handle().ncp(params)
     }
+
+    /// MQI max-flow refinement of a sweep cut: returns a subset of the
+    /// result's cluster with conductance ≤ the input's, deterministically
+    /// (see [`lgc_flow::improve`]).
+    pub fn improve(&self, result: &ClusterResult) -> lgc_flow::RefinedCut {
+        self.handle().improve(result)
+    }
+
+    /// [`Engine::improve`] on a bare vertex set (any order, duplicates
+    /// tolerated) — the analyst-supplied-cut form.
+    pub fn improve_set(&self, cluster: &[u32]) -> lgc_flow::RefinedCut {
+        self.handle().improve_set(cluster)
+    }
+
+    /// The governed form of [`Engine::improve`]: refinement runs under
+    /// `budget` (merged over the engine's default), with checkpoint
+    /// ticks in the flow solver's phase loop. On a trip the error's
+    /// [`PartialResult`](crate::PartialResult) carries the *unrefined*
+    /// input cut — always still a valid cluster.
+    pub fn try_improve(
+        &self,
+        result: &ClusterResult,
+        budget: &QueryBudget,
+    ) -> Result<lgc_flow::RefinedCut, QueryError> {
+        self.handle().try_improve(result, budget)
+    }
+
+    /// Per-seed embedding: a geomspace ρ sweep of PR-Nibble queries
+    /// (batched through [`Engine::run_batch`]), each sweep cut refined
+    /// with [`Engine::improve`], keeping the minimum-conductance cut.
+    /// See [`PipelineParams`](crate::PipelineParams).
+    pub fn compute_embedding(&self, seed: u32, params: &crate::PipelineParams) -> crate::Embedding {
+        self.handle().compute_embedding(seed, params)
+    }
+
+    /// Whole-graph pipeline: embeddings for every (non-isolated) vertex,
+    /// agglomerated into `k` groups by pairwise embedding distance. See
+    /// [`find_k_clusters`](EngineHandle::find_k_clusters).
+    pub fn find_k_clusters(&self, k: usize, params: &crate::PipelineParams) -> crate::KClusters {
+        self.handle().find_k_clusters(k, params)
+    }
 }
 
 /// A lightweight (`Copy`) handle for issuing queries against one graph
@@ -1156,6 +1197,12 @@ impl<'a, B: CsrBackend> EngineHandle<'a, B> {
     /// The graph's cache of seed-independent state.
     pub fn cache(&self) -> &'a Arc<GraphCache> {
         self.workspaces.cache()
+    }
+
+    /// The lifecycle governor (admission cap, default budget, counters)
+    /// — shared with the pipeline module's refinement entry points.
+    pub(crate) fn governor(&self) -> &'a QueryGovernor {
+        self.governor
     }
 
     /// Applies the engine-level direction override, if any.

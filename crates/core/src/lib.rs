@@ -59,6 +59,7 @@ mod evolving;
 mod hkpr;
 mod ncp;
 mod nibble;
+mod pipeline;
 mod prnibble;
 mod rand_hkpr;
 mod result;
@@ -79,6 +80,7 @@ pub use evolving::{evolving_set_par, evolving_set_seq, EvolvingParams, EvolvingR
 pub use hkpr::{hkpr_par, hkpr_seq, psi_table, HkprParams};
 pub use ncp::{ncp_prnibble, NcpParams, NcpPoint};
 pub use nibble::{nibble_par, nibble_seq, nibble_with_target_par, NibbleParams};
+pub use pipeline::{Embedding, KClusters, PipelineParams, RhoGrid};
 pub use prnibble::{
     prnibble_par, prnibble_seq, prnibble_seq_priority_queue, PrNibbleParams, PushRule,
 };
@@ -99,6 +101,10 @@ pub use lgc_ligra::{Direction, DirectionMode, DirectionParams};
 #[cfg(feature = "fault-inject")]
 pub use lgc_ligra::FaultPlan;
 pub use lgc_ligra::{CancelToken, Checkpoint, Trip};
+
+// The max-flow refinement stage consumed by `Engine::improve` and the
+// pipeline module, re-exported so umbrella users see one API.
+pub use lgc_flow::{RefineStats, RefinedCut, TrippedRefinement};
 
 use lgc_graph::CsrBackend;
 use lgc_parallel::Pool;

@@ -401,6 +401,50 @@ impl<'a> ServiceEngine<'a> {
         }
     }
 
+    /// See [`Engine::improve`](crate::Engine::improve).
+    pub fn improve(&self, result: &ClusterResult) -> crate::RefinedCut {
+        match self {
+            ServiceEngine::Plain(h) => h.improve(result),
+            ServiceEngine::Compressed(h) => h.improve(result),
+        }
+    }
+
+    /// See [`Engine::improve_set`](crate::Engine::improve_set).
+    pub fn improve_set(&self, cluster: &[u32]) -> crate::RefinedCut {
+        match self {
+            ServiceEngine::Plain(h) => h.improve_set(cluster),
+            ServiceEngine::Compressed(h) => h.improve_set(cluster),
+        }
+    }
+
+    /// See [`Engine::try_improve`](crate::Engine::try_improve).
+    pub fn try_improve(
+        &self,
+        result: &ClusterResult,
+        budget: &crate::QueryBudget,
+    ) -> Result<crate::RefinedCut, QueryError> {
+        match self {
+            ServiceEngine::Plain(h) => h.try_improve(result, budget),
+            ServiceEngine::Compressed(h) => h.try_improve(result, budget),
+        }
+    }
+
+    /// See [`Engine::compute_embedding`](crate::Engine::compute_embedding).
+    pub fn compute_embedding(&self, seed: u32, params: &crate::PipelineParams) -> crate::Embedding {
+        match self {
+            ServiceEngine::Plain(h) => h.compute_embedding(seed, params),
+            ServiceEngine::Compressed(h) => h.compute_embedding(seed, params),
+        }
+    }
+
+    /// See [`Engine::find_k_clusters`](crate::Engine::find_k_clusters).
+    pub fn find_k_clusters(&self, k: usize, params: &crate::PipelineParams) -> crate::KClusters {
+        match self {
+            ServiceEngine::Plain(h) => h.find_k_clusters(k, params),
+            ServiceEngine::Compressed(h) => h.find_k_clusters(k, params),
+        }
+    }
+
     /// The plain-CSR handle, if that is the backend.
     pub fn as_plain(&self) -> Option<EngineHandle<'a, Graph>> {
         match self {

@@ -11,9 +11,11 @@ pub mod backend;
 mod components;
 mod csr;
 pub mod gen;
+mod induced;
 pub mod io;
 pub mod stats;
 
 pub use backend::{CsrBackend, CsrCompressed, CsrPlain};
 pub use components::{connected_components, largest_component};
 pub use csr::{Graph, GraphBuilder};
+pub use induced::{induced_cut_subgraph, CutSubgraph};

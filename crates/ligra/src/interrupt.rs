@@ -7,7 +7,12 @@
 //! module provides the amortized check that query-lifecycle layers hook
 //! into: a [`Checkpoint`] is consulted **once per frontier iteration**
 //! (never per edge), so the hot kernels stay untouched and completed runs
-//! remain bit-identical to unguarded ones.
+//! remain bit-identical to unguarded ones. The max-flow refinement stage
+//! (`lgc-flow`) consumes the same primitive at the same granularity: its
+//! Dinic solver ticks once per BFS *phase* — reporting augmenting paths
+//! as pushes and residual arcs scanned as traversed edges — so one
+//! [`Checkpoint`] governs a query's diffusion, sweep, and refinement
+//! uniformly.
 //!
 //! A checkpoint can trip for three reasons, reported as a [`Trip`]:
 //!

@@ -328,6 +328,8 @@ impl ServerMetrics {
                     ("cancelled", l.cancelled),
                     ("deadline_tripped", l.deadline_tripped),
                     ("work_tripped", l.work_tripped),
+                    ("refined", l.refined),
+                    ("refine_improved", l.refine_improved),
                 ] {
                     let _ = writeln!(
                         &mut out,
@@ -416,6 +418,9 @@ mod tests {
         m.class("ring", Priority::Interactive)
             .completed
             .fetch_add(1, Ordering::Relaxed);
+        // One flow refinement (the ring edge pair is already optimal) so
+        // the refinement counters render non-trivially.
+        svc.engine("ring").unwrap().improve_set(&[0, 1]);
         let page = m.render(&svc, [(1, 64), (5, 256)]);
         for needle in [
             "# TYPE lgc_queries_total counter",
@@ -425,6 +430,8 @@ mod tests {
             "lgc_query_latency_seconds{tenant=\"ring\",class=\"interactive\",quantile=\"0.99\"}",
             "lgc_cache_psi_total{tenant=\"ring\",result=\"hit\"} 0",
             "lgc_lifecycle_total{tenant=\"ring\",event=\"admitted\"} 0",
+            "lgc_lifecycle_total{tenant=\"ring\",event=\"refined\"} 1",
+            "lgc_lifecycle_total{tenant=\"ring\",event=\"refine_improved\"} 0",
             "lgc_graph_memory_bytes{tenant=\"ring\"}",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");

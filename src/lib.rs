@@ -205,6 +205,57 @@
 //! both CSR backends, and 1–4 threads to prove no-panic, full pool
 //! recovery, and post-fault bitwise determinism.
 //!
+//! # Refinement & pipelines: max-flow `improve` and `find_k_clusters`
+//!
+//! The diffusions *find* low-conductance cuts; they never *improve*
+//! them. [`Engine::improve`] adds the flow stage the local-clustering
+//! literature pairs with every spectral method: an MQI-style iterated
+//! max-flow refinement (hand-rolled Dinic in the [`flow`] crate) that
+//! takes any sweep cut and returns a subset with conductance **≤ the
+//! input's** — provably and deterministically, with [`QueryBudget`]
+//! checkpoints ticking inside the flow solver's phase loop
+//! ([`Engine::try_improve`]; a trip returns the unrefined cut as a typed
+//! [`PartialResult`]). On top of refinement sit the first whole-graph
+//! pipelines: [`Engine::compute_embedding`] sweeps a geomspace ρ grid of
+//! PR-Nibble queries per seed through [`Engine::run_batch`] (warm
+//! workspaces, shared [`GraphCache`]), refines each cut, and keeps the
+//! minimum-conductance envelope — recording the actually-achieved grid
+//! in [`RhoGrid`] so budget truncation is visible, never silent — and
+//! [`Engine::find_k_clusters`] agglomerates every vertex's embedding
+//! into `k` groups by pairwise distance (see
+//! `examples/community_detection.rs` for exact planted-partition
+//! recovery on an SBM):
+//!
+//! ```
+//! use plgc::{Algorithm, Engine, PrNibbleParams, Query, Seed};
+//!
+//! // Two 12-cliques joined by one bridge edge {0, 12}.
+//! let g = plgc::graph::gen::two_cliques_bridge(12);
+//! let engine = Engine::builder(&g).threads(2).build();
+//!
+//! // Diffuse → sweep: PR-Nibble's sweep cut already nails this planted
+//! // cut, and refinement certifies it as flow-optimal (a fixed point).
+//! let q = Query::new(Seed::single(5), Algorithm::PrNibble(PrNibbleParams::default()));
+//! let result = engine.run(&q);
+//! let mut cluster = result.cluster.clone(); // sweep order → sorted
+//! cluster.sort_unstable();
+//! assert_eq!(cluster, (0..12).collect::<Vec<u32>>());
+//! assert_eq!(engine.improve(&result).cluster, cluster);
+//!
+//! // A sloppy analyst cut — nine clique-A vertices plus three
+//! // intruders from across the bridge — is what MQI repairs: improve
+//! // strips the intruders and the conductance strictly drops.
+//! let sloppy: Vec<u32> = (3..15).collect();
+//! let refined = engine.improve_set(&sloppy);
+//! assert_eq!(refined.cluster, (3..12).collect::<Vec<u32>>());
+//! assert!(refined.conductance < g.conductance(&sloppy));
+//! assert_eq!(engine.lifecycle_stats().refine_improved, 1);
+//! ```
+//!
+//! Refinement counters (`refined`, `refine_improved`) ride the same
+//! [`LifecycleSnapshot`] as the robustness counters and render on the
+//! server's METRICS page.
+//!
 //! # Serving over the network: `lgc-server`
 //!
 //! The [`server`] crate puts a real TCP front door on a [`Service`]:
@@ -262,6 +313,8 @@
 //! * [`graph`] — CSR graphs, generators, conductance utilities, I/O.
 //! * [`ligra`] — `vertexSubset` / `vertexMap` / direction-optimizing
 //!   `edgeMap` frontier framework.
+//! * [`flow`] — hand-rolled Dinic max-flow and the MQI-style
+//!   `improve` refinement stage.
 //! * [`cluster`] — the paper's algorithms behind the [`Engine`] and
 //!   [`Service`]: Nibble, PR-Nibble, HK-PR, rand-HK-PR, evolving sets,
 //!   sweep cuts, and NCP plots.
@@ -270,6 +323,7 @@
 //!   the `lgc-server` binary.
 
 pub use lgc_core as cluster;
+pub use lgc_flow as flow;
 pub use lgc_graph as graph;
 pub use lgc_ligra as ligra;
 pub use lgc_parallel as parallel;
@@ -282,12 +336,15 @@ pub use lgc_core::{
     evolving_set_par, evolving_set_seq, find_cluster, hkpr_par, hkpr_seq, ncp_prnibble, nibble_par,
     nibble_seq, nibble_with_target_par, prnibble_par, prnibble_seq, rand_hkpr_par, rand_hkpr_seq,
     run_batch, sweep_cut_par, sweep_cut_seq, try_run_batch, Algorithm, CancelToken, Checkpoint,
-    ClusterResult, Diffusion, DiffusionStats, Direction, DirectionMode, DirectionParams, Engine,
-    EngineBuilder, EngineHandle, EngineLimits, EvolvingParams, GraphCache, GraphStore,
-    GraphSummary, HkprParams, InvalidSeed, LifecycleSnapshot, LocalDiffusion, NcpParams,
-    NibbleParams, PartialResult, PrNibbleParams, PushRule, Query, QueryBudget, QueryError,
-    RandHkprParams, Seed, Service, ServiceBuilder, ServiceEngine, SweepCut, Trip, TrippedDiffusion,
-    Workspace, WorkspaceBudgetExceeded, RETRY_AFTER_FLOOR,
+    ClusterResult, Diffusion, DiffusionStats, Direction, DirectionMode, DirectionParams, Embedding,
+    Engine, EngineBuilder, EngineHandle, EngineLimits, EvolvingParams, GraphCache, GraphStore,
+    GraphSummary, HkprParams, InvalidSeed, KClusters, LifecycleSnapshot, LocalDiffusion, NcpParams,
+    NibbleParams, PartialResult, PipelineParams, PrNibbleParams, PushRule, Query, QueryBudget,
+    QueryError, RandHkprParams, RefineStats, RefinedCut, RhoGrid, Seed, Service, ServiceBuilder,
+    ServiceEngine, SweepCut, Trip, TrippedDiffusion, TrippedRefinement, Workspace,
+    WorkspaceBudgetExceeded, RETRY_AFTER_FLOOR,
 };
-pub use lgc_graph::{CsrBackend, CsrCompressed, CsrPlain, Graph, GraphBuilder};
+pub use lgc_graph::{
+    induced_cut_subgraph, CsrBackend, CsrCompressed, CsrPlain, CutSubgraph, Graph, GraphBuilder,
+};
 pub use lgc_parallel::Pool;
