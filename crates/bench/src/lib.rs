@@ -9,6 +9,9 @@
 //! laptop. Sizes are chosen so the diffusions touch tens of thousands of
 //! vertices — the regime the paper says parallelism pays off in.
 
+// The bench harness needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
+
 use lgc_graph::{gen, Graph};
 use std::time::Instant;
 

@@ -166,6 +166,7 @@ pub(crate) fn try_run_batch_shared<B: CsrBackend>(
                     if let Some(gv) = governor {
                         gv.counters().note_admitted();
                     }
+                    // lgc-lint: allow(determinism) -- latency metric feeding note_completed only; never a query decision
                     let t0 = std::time::Instant::now();
                     match try_run_query(&sub, g, &mut ws, &q.seed, &algo, &cp) {
                         Ok(res) => {

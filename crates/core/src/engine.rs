@@ -1218,6 +1218,7 @@ impl<'a, B: CsrBackend> EngineHandle<'a, B> {
         let counters = self.governor.counters();
         let _ = counters.enter(None); // unbounded: tracks in-flight only
         counters.note_admitted();
+        // lgc-lint: allow(determinism) -- latency metric feeding note_completed only; never a query decision
         let t0 = Instant::now();
         let algo = self.resolve(&query.algo);
         let mut ws = self.workspaces.checkout();
@@ -1268,6 +1269,7 @@ impl<'a, B: CsrBackend> EngineHandle<'a, B> {
         };
         counters.note_admitted();
         let cp = query.budget.or(self.governor.default_budget()).checkpoint();
+        // lgc-lint: allow(determinism) -- latency metric feeding note_completed only; never a query decision
         let t0 = Instant::now();
         let out = try_run_query(self.pool, self.g, &mut ws, &query.seed, &algo, &cp);
         self.workspaces.restore(ws);

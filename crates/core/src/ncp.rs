@@ -107,6 +107,12 @@ pub(crate) fn ncp_prnibble_ws<B: CsrBackend>(
             if g.num_edges() == 0 {
                 return Vec::new();
             }
+            // Rejection sampling on mostly-isolated graphs can draw many
+            // dead vertices; keep the retry loop under the same budget
+            // clock as the grid itself.
+            if cp.tick(total_pushes, total_edges).is_err() {
+                break 'grid;
+            }
         };
         for &alpha in &params.alphas {
             for &eps in &params.epsilons {

@@ -286,6 +286,7 @@ pub(crate) fn prnibble_par_ws<B: CsrBackend>(
 fn merge_sorted_distinct(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
+    // lgc-lint: allow(checkpoint-tick) -- bounded O(a + b) two-list merge, not a frontier loop; the driver ticks per round
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => {

@@ -112,6 +112,7 @@ pub(crate) fn sweep_cut_par_ws<B: CsrBackend>(
             // Walk the flattened edge space [fs, fe), chunk-locally.
             let mut vi = edge_offsets.partition_point(|&o| o <= fs as u64) - 1;
             let mut f = fs;
+            // lgc-lint: allow(checkpoint-tick) -- bounded per-chunk walk over [fs, fe) inside a pool job; the sweep ticks per phase
             while f < fe {
                 let v = order_ref[vi];
                 let rv = (vi + 1) as u32;

@@ -45,6 +45,9 @@
 //! compressed backends enumerate neighbors identically, so refinement is
 //! bit-identical across backends — and trivially across thread counts.
 
+// Flow refinement is pure safe graph algorithms; keep it that way.
+#![forbid(unsafe_code)]
+
 mod dinic;
 
 use dinic::{FlowNetwork, FlowWork};

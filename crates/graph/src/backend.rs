@@ -725,6 +725,8 @@ mod tests {
         let (mut a, mut b) = (0usize, 0usize);
         for &v in &vals {
             assert_eq!(read_varint(&buf, &mut a), v);
+            // SAFETY: `buf` holds well-formed varints plus STREAM_PAD
+            // slack bytes, so 4 bytes are readable at every cursor.
             assert_eq!(unsafe { read_varint_unchecked(buf.as_ptr(), &mut b) }, v);
             assert_eq!(a, b);
         }

@@ -1,0 +1,82 @@
+//! Diagnostics: one struct, two renderings (human and JSON-lines).
+
+/// A single rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Stable rule identifier (`unsafe-safety`, …).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to justify an exception).
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [rule] message` plus an indented hint — the format
+    /// both humans and editors (file:line is clickable) consume.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    hint: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+
+    /// One JSON object per diagnostic (JSON-lines; no external deps, so
+    /// the serializer is hand-rolled and escapes strings minimally).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            self.rule,
+            json_escape(&self.message),
+            json_escape(&self.hint)
+        )
+    }
+}
+
+/// Escapes `"`, `\`, and control characters for embedding in JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_and_json_render() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "unsafe-safety",
+            message: "msg with \"quotes\"".into(),
+            hint: "do\nthis".into(),
+        };
+        assert_eq!(
+            d.human(),
+            "crates/x/src/lib.rs:7: [unsafe-safety] msg with \"quotes\"\n    hint: do\nthis"
+        );
+        assert_eq!(
+            d.json(),
+            "{\"file\":\"crates/x/src/lib.rs\",\"line\":7,\"rule\":\"unsafe-safety\",\
+             \"message\":\"msg with \\\"quotes\\\"\",\"hint\":\"do\\nthis\"}"
+        );
+    }
+}

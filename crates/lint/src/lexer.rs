@@ -1,0 +1,375 @@
+//! A line-oriented Rust source scrubber.
+//!
+//! The rule passes need to answer questions like "does this line contain
+//! the token `unsafe`?" without being fooled by string literals
+//! (`"unsafe"`), char literals, or comments — and they separately need
+//! the *comments* themselves, because `// SAFETY:` justifications and
+//! `lgc-lint: allow` pragmas live there.
+//!
+//! [`scrub`] walks the source once with a small state machine and emits,
+//! per line:
+//!
+//! * `code` — the source text with comments removed and the *bodies* of
+//!   string/char literals blanked to spaces (the delimiting quotes stay,
+//!   so token boundaries survive);
+//! * `comment` — the concatenated text of any `//`, `///`, `//!` or
+//!   `/* … */` comment content that appears on the line.
+//!
+//! Handled syntax: nested block comments, `\`-escaped strings, byte and
+//! C strings (`b"…"`, `c"…"`), raw strings with any number of `#`s
+//! (`r"…"`, `r#"…"#`, `br##"…"##`), char literals including escapes
+//! (`'\u{1F600}'`), and the lifetime-vs-char-literal ambiguity (`'a` in
+//! `&'a T` or `'outer:` labels is *not* a literal).
+
+/// One scrubbed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with comments stripped and literal bodies blanked.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` markers),
+    /// empty if the line has no comment.
+    pub comment: String,
+    /// Whether the comment text came from a doc comment (`///`, `//!`,
+    /// `/** */`, `/*! */`). Pragmas in doc comments are examples for the
+    /// reader, not live suppressions, so [`crate::scan`] ignores them.
+    pub doc: bool,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    /// Inside `// …` (ends at newline).
+    LineComment,
+    /// Inside `/* … */`, with nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"` (escapes honored).
+    Str,
+    /// Inside a raw string; the payload is the number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'` (escapes honored).
+    Char,
+}
+
+/// Scrubs `source` into per-line code/comment views. Lines are split on
+/// `\n`; a trailing newline does not produce an extra empty line.
+pub fn scrub(source: &str) -> Vec<Line> {
+    let b = source.as_bytes();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut st = State::Code;
+    let mut block_doc = false;
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            if st == State::LineComment {
+                st = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            newline!();
+            i += 1;
+            continue;
+        }
+        match st {
+            State::Code => {
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    st = State::LineComment;
+                    i += 2;
+                    // Skip doc markers so `comment` holds plain text.
+                    while i < b.len() && (b[i] == b'/' || b[i] == b'!') {
+                        cur.doc = true;
+                        i += 1;
+                    }
+                } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    st = State::BlockComment(1);
+                    // `/**` (not the empty `/**/`) and `/*!` open doc text.
+                    block_doc = matches!(b.get(i + 2), Some(b'!'))
+                        || (b.get(i + 2) == Some(&b'*') && b.get(i + 3) != Some(&b'/'));
+                    cur.doc |= block_doc;
+                    i += 2;
+                } else if c == b'"' {
+                    cur.code.push('"');
+                    st = State::Str;
+                    i += 1;
+                } else if let Some(hashes) = raw_string_at(b, i) {
+                    // Emit the prefix (`r`, `br##"`, …) so the quote is a
+                    // visible token boundary, then blank the body.
+                    let prefix_len = raw_prefix_len(b, i, hashes);
+                    for _ in 0..prefix_len {
+                        cur.code.push(b[i] as char);
+                        i += 1;
+                    }
+                    st = State::RawStr(hashes);
+                } else if c == b'\'' {
+                    if char_literal_at(b, i) {
+                        cur.code.push('\'');
+                        st = State::Char;
+                        i += 1;
+                    } else {
+                        // Lifetime or label: pass through verbatim.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c as char);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    i += 2;
+                    if depth == 1 {
+                        st = State::Code;
+                        block_doc = false;
+                    } else {
+                        st = State::BlockComment(depth - 1);
+                    }
+                } else {
+                    if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        st = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        cur.comment.push(c as char);
+                        i += 1;
+                    }
+                    cur.doc |= block_doc;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < b.len() {
+                    cur.code.push(' ');
+                    if b[i + 1] != b'\n' {
+                        cur.code.push(' ');
+                    }
+                    i += 2;
+                } else if c == b'"' {
+                    cur.code.push('"');
+                    st = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && closes_raw(b, i, hashes) {
+                    cur.code.push('"');
+                    i += 1 + hashes as usize;
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    st = State::Code;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == b'\\' && i + 1 < b.len() {
+                    cur.code.push(' ');
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == b'\'' {
+                    cur.code.push('\'');
+                    st = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() || st == State::LineComment {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// If a raw-string literal starts at `i` (`r"`, `r#"`, `br"`, `cr#"` …),
+/// returns the number of `#`s; otherwise `None`.
+fn raw_string_at(b: &[u8], i: usize) -> Option<u32> {
+    let mut j = i;
+    if j < b.len() && (b[j] == b'b' || b[j] == b'c') {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    // `r` must not be the tail of a longer identifier (`attr"…"` is not
+    // a raw string, and neither is `for"x"` — which isn't Rust anyway).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the raw-string opener at `i` (prefix + hashes + quote).
+fn raw_prefix_len(b: &[u8], i: usize, hashes: u32) -> usize {
+    let byte_prefix = usize::from(b[i] == b'b' || b[i] == b'c');
+    byte_prefix + 1 + hashes as usize + 1
+}
+
+/// Whether the `"` at `i` is followed by enough `#`s to close a raw
+/// string opened with `hashes` hashes.
+fn closes_raw(b: &[u8], i: usize, hashes: u32) -> bool {
+    let need = hashes as usize;
+    b[i + 1..].iter().take(need).filter(|&&c| c == b'#').count() == need
+}
+
+/// Disambiguates a `'` at `i`: char literal vs lifetime/label.
+fn char_literal_at(b: &[u8], i: usize) -> bool {
+    // `b'…'` byte literal: the `b` was already emitted as code, but the
+    // quote handling is identical.
+    let Some(&next) = b.get(i + 1) else {
+        return false;
+    };
+    if next == b'\\' {
+        return true; // '\n', '\'', '\u{…}'
+    }
+    // 'x' (any single char then a closing quote) is a literal; 'a as in
+    // &'a T has no closing quote right after.
+    if next != b'\'' && b.get(i + 2) == Some(&b'\'') {
+        // `''` would be empty — not valid; `'a'` is a literal.
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> Vec<String> {
+        scrub(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_and_captured() {
+        let lines = scrub("let x = 1; // SAFETY: fine\nlet y = 2;");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " SAFETY: fine");
+        assert_eq!(lines[1].code, "let y = 2;");
+        assert!(lines[1].comment.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_markers_are_skipped() {
+        let lines = scrub("/// # Safety\n//! inner");
+        assert_eq!(lines[0].comment, " # Safety");
+        assert_eq!(lines[1].comment, " inner");
+        assert!(lines[0].doc && lines[1].doc);
+    }
+
+    #[test]
+    fn doc_flag_distinguishes_comment_kinds() {
+        let lines = scrub("// plain\n/** block doc\nsecond */\n/* plain block */");
+        assert!(!lines[0].doc);
+        assert!(lines[1].doc);
+        assert!(lines[2].doc);
+        assert!(!lines[3].doc);
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_survive() {
+        let lines = code(r#"let s = "unsafe { panic!() }";"#);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[0].contains("panic"));
+        assert!(lines[0].starts_with("let s = \""));
+        assert!(lines[0].ends_with("\";"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lines = code(r#"let s = "a\"unsafe"; let t = 1;"#);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(lines[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lines = code(r###"let s = r#"unsafe " still"#; let u = 2;"###);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(lines[0].contains("let u = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scrub("a /* x /* y */ z */ b");
+        assert_eq!(lines[0].code, "a  b");
+        assert!(lines[0].comment.contains('y'));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let lines = scrub("a /* one\n two */ b\nc");
+        assert_eq!(lines[0].code, "a ");
+        assert_eq!(lines[1].code, " b");
+        assert_eq!(lines[2].code, "c");
+        assert!(lines[1].comment.contains("two"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines =
+            code("fn f<'a>(x: &'a str) -> &'a str { x } // 'q\nlet c = 'x'; let d = '\\n';");
+        assert!(lines[0].contains("&'a str"));
+        assert!(lines[1].contains("let c = '"));
+        assert!(!lines[1].contains('x'), "char body blanked: {}", lines[1]);
+    }
+
+    #[test]
+    fn label_and_loop_interaction() {
+        let lines = code("'outer: loop { break 'outer; }");
+        assert!(lines[0].contains("loop"));
+        assert!(lines[0].contains("'outer"));
+    }
+
+    #[test]
+    fn comment_inside_string_is_code() {
+        let lines = scrub(r#"let s = "// not a comment";"#);
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.ends_with("\";"));
+    }
+
+    #[test]
+    fn string_inside_comment_is_comment() {
+        let lines = scrub(r#"// let s = "x";"#);
+        assert!(lines[0].code.is_empty());
+        assert!(lines[0].comment.contains("let s"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let lines = code(r#"let a = b"unsafe"; let b = c"panic!";"#);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[0].contains("panic"));
+    }
+
+    #[test]
+    fn trailing_newline_and_final_line() {
+        assert_eq!(scrub("a\n").len(), 1);
+        assert_eq!(scrub("a\nb").len(), 2);
+        assert_eq!(scrub("").len(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The `lgc-lint` binary: audit the workspace, print diagnostics,
+//! exit 0 (clean) / 1 (violations) / 2 (usage or I/O error).
+//!
+//! ```text
+//! cargo run -p lgc-lint                 # human diagnostics
+//! cargo run -p lgc-lint -- --format json  # one JSON object per line
+//! cargo run -p lgc-lint -- --root /path/to/workspace
+//! cargo run -p lgc-lint -- --rule determinism --rule unsafe-safety
+//! ```
+
+use lgc_lint::{check_workspace, find_workspace_root, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut only_rules: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("human") => format_json = false,
+                other => return usage(&format!("--format expects json|human, got {other:?}")),
+            },
+            "--json" => format_json = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage("--root expects a path"),
+            },
+            "--rule" => match args.next() {
+                Some(r) => {
+                    if !lgc_lint::rules::RULE_NAMES.contains(&r.as_str()) {
+                        return usage(&format!(
+                            "unknown rule `{r}`; known: {}",
+                            lgc_lint::rules::RULE_NAMES.join(", ")
+                        ));
+                    }
+                    only_rules.push(r);
+                }
+                None => return usage("--rule expects a rule name"),
+            },
+            "--list-rules" => {
+                for r in lgc_lint::rules::RULE_NAMES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "lgc-lint: workspace invariant auditor\n\
+                     usage: lgc-lint [--root DIR] [--format human|json] [--rule NAME]... \
+                     [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no workspace root found (no Cargo.toml with [workspace] above cwd)"),
+    };
+
+    let cfg = Config::workspace_default();
+    let (n_files, mut diags) = match check_workspace(&cfg, &root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lgc-lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !only_rules.is_empty() {
+        diags.retain(|d| only_rules.iter().any(|r| r == d.rule));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    for d in &diags {
+        if format_json {
+            println!("{}", d.json());
+        } else {
+            println!("{}", d.human());
+        }
+    }
+    eprintln!(
+        "lgc-lint: {n_files} file(s) scanned, {} violation(s)",
+        diags.len()
+    );
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lgc-lint: {msg}\nrun with --help for usage");
+    ExitCode::from(2)
+}

@@ -1,0 +1,121 @@
+//! Rule `atomic-ordering`: atomic memory orderings are a per-file
+//! privilege, not a default tool.
+//!
+//! Every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` use
+//! must come from a file on the allowlist in [`Config`], where each
+//! entry carries a justification for why that file owns a concurrency
+//! protocol. `SeqCst` is additionally flagged *everywhere*: nothing in
+//! this workspace needs a total order over unrelated atomics, and a
+//! stray `SeqCst` usually marks copy-pasted synchronization rather than
+//! a designed protocol. (`std::cmp::Ordering`'s variants do not collide
+//! with the atomic ones, so matching on the variant name is exact.)
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::scan::SourceFile;
+
+pub const NAME: &str = "atomic-ordering";
+
+const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let allowed = cfg.atomic_allowed(&file.rel_path);
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test_region(i) {
+            continue; // tests count events with Relaxed counters freely
+        }
+        let mut from = 0;
+        while let Some(p) = line.code[from..].find("Ordering::") {
+            let start = from + p + "Ordering::".len();
+            from = start;
+            let variant: String = line.code[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !ATOMIC_VARIANTS.contains(&variant.as_str()) {
+                continue; // cmp::Ordering::{Less, Equal, Greater} etc.
+            }
+            if variant == "SeqCst" && !file.suppressed(i, NAME) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: i + 1,
+                    rule: NAME,
+                    message: "`Ordering::SeqCst` — a total order over unrelated atomics is \
+                              never needed in this workspace"
+                        .into(),
+                    hint: "use Acquire/Release (or Relaxed for counters) and document the \
+                           protocol; if SeqCst is truly required, pragma-justify it"
+                        .into(),
+                });
+                continue;
+            }
+            if !allowed && !file.suppressed(i, NAME) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: i + 1,
+                    rule: NAME,
+                    message: format!(
+                        "`Ordering::{variant}` in a file not on the atomic-ordering allowlist"
+                    ),
+                    hint: "atomics belong to files that own a documented concurrency protocol; \
+                           add this file to ATOMIC_ALLOWLIST in crates/lint/src/config.rs with \
+                           a justification, or build on lgc-parallel's primitives instead"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check(&f, &Config::workspace_default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unlisted_file_is_flagged() {
+        let d = run("crates/x/src/lib.rs", "x.load(Ordering::Acquire);\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("allowlist"));
+    }
+
+    #[test]
+    fn allowlisted_file_passes() {
+        assert!(run(
+            "crates/parallel/src/pool.rs",
+            "x.load(Ordering::Acquire);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn seqcst_is_flagged_even_on_allowlisted_files() {
+        let d = run("crates/parallel/src/pool.rs", "x.load(Ordering::SeqCst);\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_atomic() {
+        assert!(run("crates/x/src/lib.rs", "if o == Ordering::Greater { }\n").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { c.load(Ordering::Relaxed); }\n}\n";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses() {
+        let src = "// lgc-lint: allow(atomic-ordering) -- one-shot init flag\n\
+                   x.store(true, Ordering::Release);\n";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+}

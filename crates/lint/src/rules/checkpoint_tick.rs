@@ -1,0 +1,146 @@
+//! Rule `checkpoint-tick`: every diffusion frontier loop must carry a
+//! `Checkpoint` tick.
+//!
+//! The lifecycle PR's contract is that deadlines, work budgets, and
+//! cancellation are checked **once per frontier iteration** in every
+//! diffusion driver — that is what makes `try_run` trip promptly and
+//! deterministically. A new frontier loop added without a tick silently
+//! re-opens the unbounded-query hole. The audited files are listed in
+//! [`Config::checkpoint_files`]; within them, every *outermost*
+//! `loop`/`while` in non-test code must contain a `.tick(` call
+//! somewhere in its body (inner per-edge loops ride on the outer tick,
+//! so they are exempt by construction).
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules::word_positions;
+use crate::scan::SourceFile;
+
+pub const NAME: &str = "checkpoint-tick";
+
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.is_checkpoint_file(&file.rel_path) {
+        return;
+    }
+    for (start, end) in outermost_loops(file) {
+        if file.in_test_region(start) || file.suppressed(start, NAME) {
+            continue;
+        }
+        let ticked =
+            (start..=end.min(file.lines.len() - 1)).any(|i| file.lines[i].code.contains(".tick("));
+        if !ticked {
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: start + 1,
+                rule: NAME,
+                message: "outermost loop in a diffusion driver without a `Checkpoint` tick".into(),
+                hint: "call `cp.tick(pushes, edges)` once per iteration (frontier loops must \
+                       stay interruptible); if this loop is setup-only and bounded, \
+                       pragma-justify it"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Finds (start_line, end_line) 0-indexed spans of loops that are not
+/// nested inside another loop, by brace matching over scrubbed code.
+fn outermost_loops(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    // Stack of open braces: true = this brace opens a loop body.
+    let mut stack: Vec<(bool, bool, usize)> = Vec::new(); // (is_loop, was_outermost, start_line)
+    let mut pending: Option<usize> = None; // line of a loop/while keyword awaiting `{`
+    for (i, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let mut keyword_at: Vec<usize> = word_positions(code, "loop");
+        keyword_at.extend(word_positions(code, "while"));
+        keyword_at.sort_unstable();
+        for (j, c) in code.char_indices() {
+            if keyword_at.contains(&j) {
+                pending = Some(i);
+            }
+            match c {
+                '{' => {
+                    let is_loop = pending.is_some();
+                    let outermost = !stack.iter().any(|&(l, _, _)| l);
+                    let start = pending.take().unwrap_or(i);
+                    stack.push((is_loop, outermost, start));
+                }
+                '}' => {
+                    if let Some((is_loop, outermost, start)) = stack.pop() {
+                        if is_loop && outermost {
+                            spans.push((start, i));
+                        }
+                    }
+                }
+                ';' => pending = None,
+                _ => {}
+            }
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        // Use a real audited path so the rule is in scope.
+        let f = SourceFile::parse("crates/core/src/nibble.rs", src);
+        let mut out = Vec::new();
+        check(&f, &Config::workspace_default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unticked_frontier_loop_is_flagged() {
+        let src =
+            "fn drive() {\n    while !frontier.is_empty() {\n        push_round();\n    }\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn ticked_loop_passes() {
+        let src = "fn drive() {\n    loop {\n        if cp.tick(p, e).is_err() { break; }\n        step();\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn inner_loops_ride_on_the_outer_tick() {
+        let src = "fn drive() {\n    while go {\n        cp.tick(p, e)?;\n        for v in f {\n            while w(v) { step(); }\n        }\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn tick_in_nested_closure_counts() {
+        let src = "fn drive() {\n    while go {\n        with(|| { cp.tick(p, e) });\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn two_sibling_loops_audited_independently() {
+        let src = "fn a() {\n    while x {\n        cp.tick(0, 0)?;\n    }\n    while y {\n        step();\n    }\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn pragma_and_tests_are_exempt() {
+        let src = "// lgc-lint: allow(checkpoint-tick) -- bounded setup scan, no frontier\n\
+                   fn a() { while i < 4 { i += 1; } }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { while x { } }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unaudited_files_are_ignored() {
+        let f = SourceFile::parse("crates/core/src/other.rs", "fn a() { while x { } }\n");
+        let mut out = Vec::new();
+        check(&f, &Config::workspace_default(), &mut out);
+        assert!(out.is_empty());
+    }
+}

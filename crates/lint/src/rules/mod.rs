@@ -1,0 +1,86 @@
+//! The rule registry. Each rule is a pure function over one
+//! [`SourceFile`] — no cross-file state — which
+//! keeps the engine trivially parallel-safe and each rule independently
+//! testable against fixtures.
+
+pub mod atomic_ordering;
+pub mod checkpoint_tick;
+pub mod determinism;
+pub mod no_panic;
+pub mod unsafe_safety;
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::scan::SourceFile;
+
+/// Stable rule names, used in diagnostics and `allow(...)` pragmas.
+pub const RULE_NAMES: &[&str] = &[
+    "unsafe-safety",
+    "atomic-ordering",
+    "determinism",
+    "checkpoint-tick",
+    "no-panic-in-server",
+];
+
+/// Runs every rule (plus pragma validation) over one file.
+pub fn check_file(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    unsafe_safety::check(file, cfg, out);
+    atomic_ordering::check(file, cfg, out);
+    determinism::check(file, cfg, out);
+    checkpoint_tick::check(file, cfg, out);
+    no_panic::check(file, cfg, out);
+    validate_pragmas(file, out);
+}
+
+/// A malformed pragma is worse than none: it looks like a reviewed
+/// exception but suppresses nothing (no reason) or the wrong thing
+/// (unknown rule). Both are reported under the reserved rule `pragma`.
+fn validate_pragmas(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for p in &file.pragmas {
+        if !p.has_reason {
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: p.line + 1,
+                rule: "pragma",
+                message: "`lgc-lint: allow(...)` pragma without a `-- reason`".into(),
+                hint: "append ` -- <why the invariant holds here>`; reasonless exceptions \
+                       are not accepted"
+                    .into(),
+            });
+        }
+        for r in &p.rules {
+            if !RULE_NAMES.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: p.line + 1,
+                    rule: "pragma",
+                    message: format!("pragma names unknown rule `{r}`"),
+                    hint: format!("known rules: {}", RULE_NAMES.join(", ")),
+                });
+            }
+        }
+    }
+}
+
+/// Shared helper: find occurrences of bare word `needle` in `code`
+/// (identifier-boundary on both sides), returning byte offsets.
+pub(crate) fn word_positions(code: &str, needle: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(needle) {
+        let start = from + p;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident_byte(b[start - 1]);
+        let right_ok = end >= b.len() || !is_ident_byte(b[end]);
+        if left_ok && right_ok {
+            out.push(start);
+        }
+        from = end;
+    }
+    out
+}
+
+pub(crate) fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}

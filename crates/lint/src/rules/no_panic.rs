@@ -1,0 +1,115 @@
+//! Rule `no-panic-in-server`: the serving layer must degrade, not die.
+//!
+//! A panic in `lgc-server` non-test code kills a connection thread (or
+//! the whole process) instead of returning a typed wire error with a
+//! retry hint — the exact failure mode the backpressure design exists
+//! to avoid. Banned in non-test code: `.unwrap()`, `.expect(…)`,
+//! `panic!`, `unreachable!`, `todo!`, `unimplemented!`. Asserts are
+//! allowed: they document invariants and are compiled into tests too.
+//! Statically-infallible conversions should be restructured so the
+//! infallibility is visible (fixed-size array reads instead of
+//! `try_into().unwrap()`); genuinely fatal startup errors get a pragma.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::scan::SourceFile;
+
+pub const NAME: &str = "no-panic-in-server";
+
+const BANNED: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "propagate the error (or use the parking_lot shim, which has no poisoning)",
+    ),
+    (
+        ".expect(",
+        "propagate a typed error; reserve process-fatal expects for startup and pragma them",
+    ),
+    ("panic!(", "return a typed WireError / QueryError instead"),
+    (
+        "unreachable!(",
+        "make the unreachable state unrepresentable, or return an internal error",
+    ),
+    ("todo!(", "finish it or return `Unsupported`"),
+    ("unimplemented!(", "finish it or return `Unsupported`"),
+];
+
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.in_panic_scope(&file.rel_path) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        for (pat, hint) in BANNED {
+            let mut from = 0;
+            while let Some(p) = line.code[from..].find(pat) {
+                from += p + pat.len();
+                if file.suppressed(i, NAME) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: i + 1,
+                    rule: NAME,
+                    message: format!("`{}` in server non-test code", pat.trim_start_matches('.')),
+                    hint: (*hint).into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check(&f, &Config::workspace_default(), &mut out);
+        out
+    }
+
+    const SRV: &str = "crates/server/src/conn.rs";
+
+    #[test]
+    fn unwrap_and_panic_are_flagged() {
+        let d = run(SRV, "let x = m.lock().unwrap();\npanic!(\"boom\");\n");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(run(SRV, "let x = o.unwrap_or(0);\nlet y = o.unwrap_or_else(f);\nlet z = o.unwrap_or_default();\n").is_empty());
+    }
+
+    #[test]
+    fn asserts_are_allowed() {
+        assert!(run(SRV, "assert!(x > 0);\ndebug_assert_eq!(a, b);\n").is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        assert!(run("crates/core/src/engine.rs", "let x = m.lock().unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn test_region_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run(SRV, src).is_empty());
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses() {
+        let src = "// lgc-lint: allow(no-panic-in-server) -- spawn failure at startup is fatal by design\n\
+                   let t = thread::Builder::new().spawn(f).expect(\"spawn\");\n";
+        assert!(run(SRV, src).is_empty());
+    }
+
+    #[test]
+    fn panic_in_string_is_ignored() {
+        assert!(run(SRV, "let s = \"panic!(oops)\";\n").is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Rule `unsafe-safety`: every `unsafe` block, fn, impl, or trait must
+//! carry a `// SAFETY:` comment (or, for declarations, a `# Safety` doc
+//! section) in the comment run directly above it.
+//!
+//! The workspace's determinism and memory-safety story rests on a small
+//! number of hand-rolled parallel primitives (`UnsafeSlice`, the pool's
+//! job protocol, the compressed-CSR decoders). The invariant that makes
+//! each site sound — "each index written exactly once per phase",
+//! "4 readable bytes past every varint" — must be stated *at* the site,
+//! where the next editor will see it.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules::{is_ident_byte, word_positions};
+use crate::scan::SourceFile;
+
+pub const NAME: &str = "unsafe-safety";
+
+pub fn check(file: &SourceFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        for pos in word_positions(&line.code, "unsafe") {
+            let Some(kind) = classify(&line.code, pos) else {
+                continue; // type position (`fn(...)` pointer types) etc.
+            };
+            if file.suppressed(i, NAME) {
+                continue;
+            }
+            let justified = file.comment_run_above(i, |c| {
+                c.contains("SAFETY:") || c.contains("# Safety") || c.contains("#  Safety")
+            });
+            if justified {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: i + 1,
+                rule: NAME,
+                message: format!("`unsafe {kind}` without a `// SAFETY:` justification"),
+                hint: "state the invariant that makes this sound in a `// SAFETY:` comment \
+                       directly above the site (declarations may use a `# Safety` doc section)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Classifies the `unsafe` token at byte `pos`: returns what it opens,
+/// or `None` when it is part of a function-pointer *type*
+/// (`f: unsafe fn(...)`) rather than a site with its own proof burden.
+fn classify(code: &str, pos: usize) -> Option<&'static str> {
+    let before = code[..pos].trim_end();
+    let after = code[pos + "unsafe".len()..].trim_start();
+    let kind = if after.starts_with('{') || after.is_empty() {
+        // `unsafe {` (or `unsafe` at end of line with `{` next line).
+        "block"
+    } else if after.starts_with("fn") && !is_ident_continuation(after, 2) {
+        "fn"
+    } else if after.starts_with("impl") && !is_ident_continuation(after, 4) {
+        "impl"
+    } else if after.starts_with("trait") && !is_ident_continuation(after, 5) {
+        "trait"
+    } else if after.starts_with("extern") {
+        "extern"
+    } else {
+        return None;
+    };
+    // Type position: `: unsafe fn(..)`, `, unsafe fn(..)`, `<unsafe fn`,
+    // `(unsafe fn`, `= unsafe fn`, `-> unsafe fn`.
+    if kind == "fn" {
+        if let Some(last) = before.chars().last() {
+            if matches!(last, ':' | ',' | '<' | '(' | '=' | '>' | '&') {
+                return None;
+            }
+        }
+    }
+    Some(kind)
+}
+
+fn is_ident_continuation(s: &str, at: usize) -> bool {
+    s.as_bytes().get(at).is_some_and(|&b| is_ident_byte(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &Config::workspace_default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_unsafe_block() {
+        let d = run("fn f() {\n    unsafe { g() }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        assert!(run("// SAFETY: g is sound here\nunsafe { g() }\n").is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_passes_for_fns() {
+        assert!(run("/// # Safety\n/// caller checks bounds\npub unsafe fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn attribute_between_comment_and_site_is_fine() {
+        assert!(run("// SAFETY: fully written below\n#[allow(clippy::uninit_vec)]\nunsafe { v.set_len(n) }\n").is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_site() {
+        assert!(run("struct J {\n    func: unsafe fn(*const (), usize),\n}\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        assert_eq!(run("unsafe impl Send for X {}\n").len(), 1);
+        assert!(run("// SAFETY: no thread affinity\nunsafe impl Send for X {}\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_is_ignored() {
+        assert!(run("let s = \"unsafe { }\";\n").is_empty());
+    }
+
+    #[test]
+    fn trailing_same_line_comment_counts() {
+        assert!(run("unsafe { g() } // SAFETY: single writer\n").is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! The per-file scan model shared by every rule: scrubbed lines,
+//! `#[cfg(test)]` regions, escape pragmas, and comment-run lookups.
+
+use crate::lexer::{self, Line};
+
+/// The escape hatch every rule honors:
+///
+/// ```text
+/// // lgc-lint: allow(rule-name, other-rule) -- reason the invariant holds
+/// ```
+///
+/// A pragma suppresses the named rules on its own line, or — when it is
+/// a standalone comment line — on the lines of the comment/attribute run
+/// it belongs to plus the first code line after it. The `-- reason` is
+/// mandatory; a pragma without one is itself reported (rule `pragma`).
+/// Pragmas are only recognized in plain comments — in doc comments
+/// (like this one) they are inert examples.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 0-indexed line the pragma comment sits on.
+    pub line: usize,
+    /// Rule names listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty `-- reason` followed.
+    pub has_reason: bool,
+}
+
+/// A scrubbed source file plus the derived structures rules query.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Scrubbed lines (see [`lexer::scrub`]).
+    pub lines: Vec<Line>,
+    /// 0-indexed line ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Parsed pragmas, in line order.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl SourceFile {
+    /// Scrubs `source` and derives test regions and pragmas.
+    pub fn parse(rel_path: &str, source: &str) -> SourceFile {
+        let lines = lexer::scrub(source);
+        let test_regions = find_test_regions(&lines);
+        let pragmas = find_pragmas(&lines);
+        SourceFile {
+            rel_path: rel_path.replace('\\', "/"),
+            lines,
+            test_regions,
+            pragmas,
+        }
+    }
+
+    /// Whether 0-indexed `line` lies inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// Whether `rule` is suppressed at 0-indexed `line` by a pragma on
+    /// the same line or in the comment/attribute run directly above.
+    pub fn suppressed(&self, line: usize, rule: &str) -> bool {
+        self.pragmas.iter().any(|p| {
+            p.rules.iter().any(|r| r == rule)
+                && p.has_reason
+                && (p.line == line || covers_from_above(&self.lines, p.line, line))
+        })
+    }
+
+    /// Walks the contiguous comment/attribute run directly above
+    /// 0-indexed `line` (skipping over multi-line attributes), calling
+    /// `f` with each comment. Returns true if `f` returns true for any.
+    pub fn comment_run_above(&self, line: usize, f: impl Fn(&str) -> bool) -> bool {
+        // Same-line trailing comment counts as part of the run.
+        if !self.lines[line].comment.is_empty() && f(&self.lines[line].comment) {
+            return true;
+        }
+        let mut j = line;
+        while j > 0 {
+            j -= 1;
+            let l = &self.lines[j];
+            let code = l.code.trim();
+            let is_attr = code.starts_with("#[") || code.starts_with("#![") || code == "]";
+            if code.is_empty() || is_attr {
+                if !l.comment.is_empty() && f(&l.comment) {
+                    return true;
+                }
+                // A bare `///` (doc paragraph break) continues the run; a
+                // truly blank line ends it.
+                if code.is_empty() && l.comment.is_empty() && !l.doc {
+                    return false;
+                }
+            } else {
+                return false; // real code ends the run
+            }
+        }
+        false
+    }
+}
+
+/// Whether a standalone pragma at `pragma_line` covers `target` — i.e.
+/// every line between them is comment/attribute-only.
+fn covers_from_above(lines: &[Line], pragma_line: usize, target: usize) -> bool {
+    if pragma_line >= target {
+        return false;
+    }
+    // The pragma's own line must not be a code line (then it only covers
+    // itself, handled by the same-line case).
+    for l in lines.iter().take(target).skip(pragma_line) {
+        let code = l.code.trim();
+        if !(code.is_empty() || code.starts_with("#[") || code.starts_with("#![") || code == "]") {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds `#[cfg(test)]` items and brace-matches their extent.
+fn find_test_regions(lines: &[Line]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            let start = i;
+            // Find the first `{` from here and match it.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        // `#[cfg(test)]` on a use/fn-less item ends at `;`
+                        ';' if !opened => break 'outer,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            regions.push((start, j.min(lines.len().saturating_sub(1))));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Parses `lgc-lint: allow(...)` pragmas out of comments. Doc comments
+/// are skipped: a pragma shown in rendered documentation is an example
+/// for the reader, not a live suppression.
+fn find_pragmas(lines: &[Line]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if l.doc {
+            continue;
+        }
+        let Some(pos) = l.comment.find("lgc-lint:") else {
+            continue;
+        };
+        let rest = l.comment[pos + "lgc-lint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = args[close + 1..].trim_start();
+        let has_reason = tail
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        out.push(Pragma {
+            line: i,
+            rules,
+            has_reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_region(0));
+        assert!(f.in_test_region(1));
+        assert!(f.in_test_region(3));
+        assert!(f.in_test_region(4));
+        assert!(!f.in_test_region(5));
+    }
+
+    #[test]
+    fn pragma_same_line_and_above() {
+        let src = "let a = x.unwrap(); // lgc-lint: allow(no-panic-in-server) -- startup only\n\
+                   // lgc-lint: allow(determinism) -- order cannot reach results\n\
+                   for k in map.keys() {}\n\
+                   let b = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressed(0, "no-panic-in-server"));
+        assert!(!f.suppressed(0, "determinism"));
+        assert!(f.suppressed(2, "determinism"));
+        assert!(
+            !f.suppressed(3, "determinism"),
+            "pragma covers one code line only"
+        );
+    }
+
+    #[test]
+    fn doc_comment_pragma_is_not_live() {
+        let src = "/// // lgc-lint: allow(determinism) -- just an example\nfor k in m.keys() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.pragmas.is_empty());
+        assert!(!f.suppressed(1, "determinism"));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_inert() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// lgc-lint: allow(determinism)\nfor k in m.keys() {}\n",
+        );
+        assert!(!f.suppressed(1, "determinism"));
+        assert!(!f.pragmas[0].has_reason);
+    }
+
+    #[test]
+    fn comment_run_lookup_skips_attributes() {
+        let src = "// SAFETY: disjoint\n#[allow(clippy::x)]\nunsafe { w() }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.comment_run_above(2, |c| c.contains("SAFETY:")));
+        assert!(!f.comment_run_above(2, |c| c.contains("nope")));
+    }
+
+    #[test]
+    fn blank_line_ends_comment_run() {
+        let src = "// SAFETY: stale\n\nunsafe { w() }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.comment_run_above(2, |c| c.contains("SAFETY:")));
+    }
+
+    #[test]
+    fn bare_doc_line_continues_comment_run() {
+        let src = "/// # Safety\n///\n/// details\nunsafe fn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.comment_run_above(3, |c| c.contains("# Safety")));
+    }
+}

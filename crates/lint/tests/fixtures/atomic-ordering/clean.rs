@@ -1,0 +1,7 @@
+// Fixture: no Ordering:: tokens at all — atomics-free code is always
+// clean under this rule, whatever the file.
+pub fn bump(c: &mut usize) -> usize {
+    let old = *c;
+    *c += 1;
+    old
+}

@@ -1,0 +1,12 @@
+// Fixture: the same uses, pragma-justified.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    // lgc-lint: allow(atomic-ordering) -- fixture counter, no cross-thread protocol
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(c: &AtomicUsize, v: usize) {
+    // lgc-lint: allow(atomic-ordering) -- fixture exercising the SeqCst escape hatch
+    c.store(v, Ordering::SeqCst)
+}

@@ -1,0 +1,11 @@
+// Fixture: Ordering uses in a file with no allowlist entry, plus a
+// SeqCst (banned everywhere without a pragma).
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(c: &AtomicUsize, v: usize) {
+    c.store(v, Ordering::SeqCst)
+}

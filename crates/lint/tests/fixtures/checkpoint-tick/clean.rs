@@ -1,0 +1,10 @@
+// Fixture: the loop carries the tick, as every frontier loop must.
+pub fn drive(frontier: &mut Vec<u32>, cp: &Checkpoint) -> Result<(), Tripped> {
+    let mut pushes = 0u64;
+    while !frontier.is_empty() {
+        cp.tick(pushes, 0)?;
+        frontier.pop();
+        pushes += 1;
+    }
+    Ok(())
+}

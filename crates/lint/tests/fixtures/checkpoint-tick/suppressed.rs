@@ -1,0 +1,7 @@
+// Fixture: the same loop, justified as bounded setup.
+pub fn drive(frontier: &mut Vec<u32>) {
+    // lgc-lint: allow(checkpoint-tick) -- fixture loop drains a bounded vec, no frontier growth
+    while !frontier.is_empty() {
+        frontier.pop();
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: a frontier loop in an audited diffusion driver with no tick.
+pub fn drive(frontier: &mut Vec<u32>) {
+    while !frontier.is_empty() {
+        frontier.pop();
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: keyed lookups and sorted materialization — the patterns the
+// rule wants instead.
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, f64>, k: u32) -> Option<f64> {
+    m.get(&k).copied()
+}
+
+pub fn sorted_entries(pairs: &mut Vec<(u32, f64)>) -> f64 {
+    pairs.sort_by_key(|&(k, _)| k);
+    pairs.iter().map(|&(_, v)| v).sum()
+}

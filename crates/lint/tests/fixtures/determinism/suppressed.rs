@@ -1,0 +1,19 @@
+// Fixture: the same patterns, pragma-justified.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn sum_values(m: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    let scores: HashMap<u32, f64> = m.clone();
+    // lgc-lint: allow(determinism) -- float addition order is irrelevant in this fixture
+    for (_, v) in scores.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn too_slow() -> bool {
+    // lgc-lint: allow(determinism) -- fixture metric, never feeds a decision
+    let t0 = Instant::now();
+    t0.elapsed().as_millis() > 5
+}

@@ -1,0 +1,17 @@
+// Fixture: hash-order iteration and a clock read in a result path.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn sum_values(m: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    let scores: HashMap<u32, f64> = m.clone();
+    for (_, v) in scores.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn too_slow() -> bool {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis() > 5
+}

@@ -1,0 +1,9 @@
+// Fixture: typed errors and defaulting — the shapes the rule wants.
+pub fn handle(input: Option<&[u8]>) -> Result<u8, &'static str> {
+    let bytes = input.ok_or("no payload")?;
+    let first = bytes.first().copied().unwrap_or_default();
+    if first > 100 {
+        return Err("oversized");
+    }
+    Ok(first)
+}

@@ -1,0 +1,5 @@
+// Fixture: a process-fatal startup expect, pragma-justified.
+pub fn startup(config: Option<&str>) -> String {
+    // lgc-lint: allow(no-panic-in-server) -- fixture startup path; failure here is fatal by design
+    config.expect("missing config").to_string()
+}

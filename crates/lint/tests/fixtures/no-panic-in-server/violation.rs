@@ -1,0 +1,9 @@
+// Fixture: the full panic menagerie in server non-test code.
+pub fn handle(input: Option<&[u8]>) -> u8 {
+    let bytes = input.unwrap();
+    let first = bytes.first().expect("empty payload");
+    if *first > 100 {
+        panic!("oversized");
+    }
+    *first
+}

@@ -1,0 +1,21 @@
+// Fixture: every site carries its justification.
+pub fn zero_first(x: &mut [u8]) {
+    if !x.is_empty() {
+        // SAFETY: the emptiness check guarantees index 0 is in bounds.
+        unsafe { x.as_mut_ptr().write(0) }
+    }
+}
+
+// SAFETY: the pointer is only dereferenced on the owning thread.
+unsafe impl Send for Wrapper {}
+
+/// Declarations may justify via a doc section instead.
+///
+/// # Safety
+/// `p` must point to a live, initialized byte.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: caller contract.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);

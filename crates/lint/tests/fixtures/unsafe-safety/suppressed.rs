@@ -1,0 +1,12 @@
+// Fixture: same sites, suppressed by reasoned pragmas.
+pub fn zero_first(x: &mut [u8]) {
+    if !x.is_empty() {
+        // lgc-lint: allow(unsafe-safety) -- fixture exercising the pragma path
+        unsafe { x.as_mut_ptr().write(0) }
+    }
+}
+
+// lgc-lint: allow(unsafe-safety) -- fixture exercising the pragma path
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*mut u8);

@@ -1,0 +1,11 @@
+// Fixture: an unsafe block with no SAFETY justification anywhere.
+pub fn zero_first(x: &mut [u8]) {
+    if !x.is_empty() {
+        unsafe { x.as_mut_ptr().write(0) }
+    }
+}
+
+// An unsafe impl is a site too.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*mut u8);

@@ -1,0 +1,119 @@
+//! Fixture-driven contract tests for every rule: each rule directory
+//! under `tests/fixtures/` holds a `violation.rs` (must flag, under the
+//! rule's own name), a `suppressed.rs` (same sites under reasoned
+//! pragmas — must not flag), and a `clean.rs` (the idiomatic shape —
+//! must not flag).
+
+use lgc_lint::{check_source, Config, Diagnostic};
+use std::path::PathBuf;
+
+/// `(rule, synthetic workspace path)` — the path decides which scope /
+/// allowlist tables apply, so each rule is tested where it is live.
+const RULES: &[(&str, &str)] = &[
+    ("unsafe-safety", "crates/parallel/src/fixture.rs"),
+    ("atomic-ordering", "crates/core/src/fixture.rs"),
+    ("determinism", "crates/core/src/fixture.rs"),
+    ("checkpoint-tick", "crates/core/src/nibble.rs"),
+    ("no-panic-in-server", "crates/server/src/fixture.rs"),
+];
+
+fn fixture(rule: &str, name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+fn run(rule: &str, rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let cfg = Config::workspace_default();
+    check_source(&cfg, rel_path, source)
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .collect()
+}
+
+#[test]
+fn violations_are_flagged_with_file_and_line() {
+    for &(rule, path) in RULES {
+        let d = run(rule, path, &fixture(rule, "violation.rs"));
+        assert!(!d.is_empty(), "{rule}: violation.rs must flag");
+        for diag in &d {
+            assert_eq!(diag.file, path);
+            assert!(diag.line >= 1, "{rule}: 1-indexed line");
+            assert!(
+                !diag.hint.is_empty(),
+                "{rule}: every diagnostic hints a fix"
+            );
+            let human = diag.human();
+            assert!(
+                human.starts_with(&format!("{}:{}:", diag.file, diag.line)),
+                "{rule}: human rendering must lead with file:line, got {human}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pragmas_suppress_with_reason() {
+    for &(rule, path) in RULES {
+        let d = run(rule, path, &fixture(rule, "suppressed.rs"));
+        assert!(
+            d.is_empty(),
+            "{rule}: suppressed.rs must be clean, got {d:?}"
+        );
+    }
+}
+
+#[test]
+fn idiomatic_code_is_clean() {
+    for &(rule, path) in RULES {
+        let d = run(rule, path, &fixture(rule, "clean.rs"));
+        assert!(d.is_empty(), "{rule}: clean.rs must be clean, got {d:?}");
+    }
+}
+
+#[test]
+fn json_rendering_is_machine_readable() {
+    let (rule, path) = RULES[0];
+    let d = run(rule, path, &fixture(rule, "violation.rs"));
+    let json = d[0].json();
+    for key in [
+        "\"file\":",
+        "\"line\":",
+        "\"rule\":",
+        "\"message\":",
+        "\"hint\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.starts_with('{') && json.ends_with('}'));
+}
+
+#[test]
+fn reasonless_pragma_is_itself_reported() {
+    let cfg = Config::workspace_default();
+    let src = "// lgc-lint: allow(determinism)\nfn f() {}\n";
+    let d = check_source(&cfg, "crates/core/src/fixture.rs", src);
+    assert!(
+        d.iter().any(|d| d.rule == "pragma"),
+        "a pragma without `-- reason` must be reported, got {d:?}"
+    );
+}
+
+#[test]
+fn out_of_scope_paths_are_untouched_by_scoped_rules() {
+    // The same violating sources produce nothing when the path is
+    // outside each rule's scope (lint crate fixtures aside, scope is
+    // what keeps e.g. server-only rules out of the algorithm crates).
+    let cfg = Config::workspace_default();
+    let panics = fixture("no-panic-in-server", "violation.rs");
+    assert!(check_source(&cfg, "crates/core/src/fixture.rs", &panics)
+        .iter()
+        .all(|d| d.rule != "no-panic-in-server"));
+    let loops = fixture("checkpoint-tick", "violation.rs");
+    assert!(check_source(&cfg, "crates/core/src/fixture.rs", &loops)
+        .iter()
+        .all(|d| d.rule != "checkpoint-tick"));
+}

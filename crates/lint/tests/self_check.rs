@@ -1,0 +1,28 @@
+//! The auditor audits its own workspace: the live tree must be clean.
+//! This is the same check CI's `lgc-lint` job runs via the binary; as a
+//! test it fails `cargo test` locally the moment a violation lands.
+
+use lgc_lint::{check_workspace, find_workspace_root, Config};
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let cfg = Config::workspace_default();
+    let (n_files, diags) = check_workspace(&cfg, &root).expect("workspace scan");
+    assert!(
+        n_files > 50,
+        "scan looks truncated: only {n_files} files found"
+    );
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

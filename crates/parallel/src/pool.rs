@@ -211,6 +211,8 @@ impl Pool {
             return;
         }
 
+        /// # Safety
+        /// `ctx` must point at a live `F` for the duration of the call.
         unsafe fn call<F: Fn(usize, usize) + Sync>(ctx: *const (), s: usize, e: usize) {
             // SAFETY: `ctx` was produced from `&f` below and `f` outlives
             // the job because the caller blocks until completion.

@@ -24,8 +24,10 @@ pub struct UnsafeSlice<'a, T> {
     _marker: PhantomData<&'a UnsafeCell<[T]>>,
 }
 
-// SAFETY: shared access is only used for disjoint writes per the contract.
+// SAFETY: the view owns no data; sending it across threads moves only a
+// pointer whose referent is `T: Send`.
 unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+// SAFETY: shared access is only used for disjoint writes per the contract.
 unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
 
 impl<'a, T> UnsafeSlice<'a, T> {
@@ -94,6 +96,7 @@ mod tests {
         let pool = Pool::new(4);
         let mut out = vec![0usize; 10_000];
         let view = UnsafeSlice::new(&mut out);
+        // SAFETY: each index is written by exactly one job.
         pool.for_each_index(10_000, 128, |i| unsafe { view.write(i, i * 3) });
         assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
     }

@@ -46,13 +46,11 @@ pub fn merge_sort_by<T: Copy + Send + Sync>(
         });
     }
 
-    let mut buf: Vec<T> = Vec::with_capacity(n);
-    // SAFETY: buf is used strictly as a scratch destination; every slot is
-    // written before it is read in each merge round.
-    #[allow(clippy::uninit_vec)]
-    unsafe {
-        buf.set_len(n)
-    };
+    // Scratch destination for the ping-pong merge rounds. Filling with a
+    // copy of `data[0]` (n >= 16384, checked above) keeps every slot
+    // initialized without unsafe `set_len`; each round overwrites every
+    // slot before it is read, so the fill value is never observed.
+    let mut buf: Vec<T> = vec![data[0]; n];
 
     let mut width = run_len;
     let mut src_is_data = true;
@@ -106,8 +104,10 @@ fn merge_round<T: Copy + Send + Sync>(
         let lo = pair * pair_span;
         let mid = (lo + width).min(n);
         let hi = (lo + pair_span).min(n);
-        // SAFETY: reading disjoint, fully-initialized src ranges.
+        // SAFETY: this round only writes `dst`; `src` is fully initialized
+        // and read-only, so shared reborrows of `[lo, mid)` are sound.
         let a = unsafe { src.slice(lo, mid) };
+        // SAFETY: same contract as `a`, for the right half `[mid, hi)`.
         let b = unsafe { src.slice(mid, hi) };
         let out_len = hi - lo;
         let k1 = out_len * seg / segs_per_pair;
@@ -125,17 +125,22 @@ fn merge_round<T: Copy + Send + Sync>(
                 unsafe { dst.write(o, a[i]) };
                 i += 1;
             } else {
+                // SAFETY: each output index written by exactly one segment.
                 unsafe { dst.write(o, b[j]) };
                 j += 1;
             }
             o += 1;
         }
         while i < i2 {
+            // SAFETY: drains `a`'s remainder into this segment's exclusive
+            // output range `[lo + k1, lo + k2)`.
             unsafe { dst.write(o, a[i]) };
             i += 1;
             o += 1;
         }
         while j < j2 {
+            // SAFETY: drains `b`'s remainder into this segment's exclusive
+            // output range `[lo + k1, lo + k2)`.
             unsafe { dst.write(o, b[j]) };
             j += 1;
             o += 1;

@@ -56,8 +56,14 @@ pub(crate) fn handle_connection(shared: &Shared, stream: TcpStream) {
                     break;
                 }
             }
-        })
-        .expect("spawn connection writer");
+        });
+    let writer = match writer {
+        Ok(t) => t,
+        // Thread exhaustion: a connection with no writer cannot be
+        // served — drop it (stream closes) instead of panicking the
+        // accept path.
+        Err(_) => return,
+    };
 
     let cancel = CancelToken::new();
     let conn_inflight = Arc::new(AtomicUsize::new(0));

@@ -221,8 +221,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtocolError> {
     }
     let kind = FrameKind::from_u8(header[5]).ok_or(ProtocolError::UnknownKind(header[5]))?;
     // header[6..8]: reserved — ignored on read (see PROTOCOL.md).
-    let id = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    let len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+    let id = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    let len = u32::from_le_bytes([header[12], header[13], header[14], header[15]]) as usize;
     if len > MAX_PAYLOAD {
         return Err(ProtocolError::Oversized {
             len: len as u64,

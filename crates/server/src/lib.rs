@@ -43,6 +43,9 @@
 //! budgets win), which keeps batch scans yielding through the
 //! checkpoint machinery while interactive traffic flows past them.
 
+// The serving layer needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod frame;
 pub mod metrics;
@@ -56,11 +59,12 @@ pub use wire::{Priority, QueryRequest, WireError, WirePartial};
 
 use lgc_core::{CancelToken, QueryBudget, Service, RETRY_AFTER_FLOOR};
 use metrics::ServerMetrics;
+use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
@@ -177,49 +181,67 @@ impl Server {
             shutting_down: AtomicBool::new(false),
         });
 
-        let exec_threads: Vec<JoinHandle<()>> = (0..executors)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("lgc-exec-{i}"))
-                    .spawn(move || executor_loop(&shared))
-                    .expect("spawn executor")
-            })
-            .collect();
+        // Startup spawn failures surface as the bind error they are
+        // instead of panicking half-initialized.
+        let mut exec_threads: Vec<JoinHandle<()>> = Vec::with_capacity(executors);
+        for i in 0..executors {
+            let shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("lgc-exec-{i}"))
+                .spawn(move || executor_loop(&shared))?;
+            exec_threads.push(handle);
+        }
 
         let conn_streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {
-            let shared = Arc::clone(&shared);
+            let accept_shared = Arc::clone(&shared);
             let conn_streams = Arc::clone(&conn_streams);
             let conn_threads = Arc::clone(&conn_threads);
-            thread::Builder::new()
+            let spawned = thread::Builder::new()
                 .name("lgc-accept".into())
                 .spawn(move || {
                     for stream in listener.incoming() {
-                        if shared.shutting_down.load(Ordering::Acquire) {
+                        if accept_shared.shutting_down.load(Ordering::Acquire) {
                             break;
                         }
                         let stream = match stream {
                             Ok(s) => s,
                             Err(_) => continue,
                         };
-                        shared
+                        accept_shared
                             .metrics
                             .connections_opened
                             .fetch_add(1, Ordering::Relaxed);
                         if let Ok(clone) = stream.try_clone() {
-                            conn_streams.lock().unwrap().push(clone);
+                            conn_streams.lock().push(clone);
                         }
-                        let shared2 = Arc::clone(&shared);
-                        let handle = thread::Builder::new()
+                        let shared2 = Arc::clone(&accept_shared);
+                        match thread::Builder::new()
                             .name("lgc-conn".into())
                             .spawn(move || conn::handle_connection(&shared2, stream))
-                            .expect("spawn connection thread");
-                        conn_threads.lock().unwrap().push(handle);
+                        {
+                            Ok(handle) => conn_threads.lock().push(handle),
+                            // Spawn failure (fd/thread exhaustion): the
+                            // moved closure — and with it the socket — is
+                            // dropped, refusing the connection; the accept
+                            // loop itself stays alive.
+                            Err(_) => continue,
+                        }
                     }
-                })
-                .expect("spawn accept thread")
+                });
+            match spawned {
+                Ok(t) => t,
+                Err(e) => {
+                    // Unblock and join the executors before reporting the
+                    // bind failure, so no thread outlives the error.
+                    shared.sched.shutdown();
+                    for t in exec_threads {
+                        let _ = t.join();
+                    }
+                    return Err(e);
+                }
+            }
         };
 
         Ok(RunningServer {
@@ -277,7 +299,7 @@ impl RunningServer {
         }
         // Close every connection socket: readers see EOF, cancel their
         // tokens, and exit; writers drain and follow.
-        for s in self.conn_streams.lock().unwrap().drain(..) {
+        for s in self.conn_streams.lock().drain(..) {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the accept loop with a throwaway connection.
@@ -299,7 +321,7 @@ impl RunningServer {
         for t in self.exec_threads.drain(..) {
             let _ = t.join();
         }
-        for t in self.conn_threads.lock().unwrap().drain(..) {
+        for t in self.conn_threads.lock().drain(..) {
             let _ = t.join();
         }
     }

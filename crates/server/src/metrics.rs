@@ -12,10 +12,11 @@
 
 use crate::wire::Priority;
 use lgc_core::Service;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Number of log2 latency buckets: bucket `i` covers
@@ -120,7 +121,7 @@ pub struct ServerMetrics {
 impl ServerMetrics {
     /// The metrics slot for `(tenant, class)`, creating it on first use.
     pub fn class(&self, tenant: &str, class: Priority) -> Arc<ClassMetrics> {
-        let mut map = self.classes.lock().unwrap();
+        let mut map = self.classes.lock();
         if let Some(m) = map.get(&(tenant.to_string(), class)) {
             return Arc::clone(m);
         }
@@ -132,7 +133,7 @@ impl ServerMetrics {
     /// Snapshot of all slots, sorted by (tenant, class) for stable
     /// rendering.
     fn sorted_slots(&self) -> Vec<((String, Priority), Arc<ClassMetrics>)> {
-        let map = self.classes.lock().unwrap();
+        let map = self.classes.lock();
         let mut v: Vec<_> = map
             .iter()
             .map(|(k, m)| (k.clone(), Arc::clone(m)))

@@ -21,8 +21,8 @@
 //! silently queueing unbounded work.
 
 use crate::wire::Priority;
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// Queue policy: see the module docs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,14 +87,14 @@ impl<T> Scheduler<T> {
 
     /// Current queue depth of a class (for metrics; racy by nature).
     pub fn depth(&self, class: Priority) -> usize {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock();
         st.queues[class.index()].len()
     }
 
     /// Enqueues a job, or refuses it if the class queue is full or the
     /// scheduler is shut down.
     pub fn push(&self, class: Priority, job: T) -> Result<(), (T, PushError)> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         if st.shutdown {
             return Err((job, PushError::ShutDown));
         }
@@ -116,7 +116,7 @@ impl<T> Scheduler<T> {
     /// the highest-priority one. Returns `None` once the scheduler is
     /// shut down *and* drained.
     pub fn pop(&self) -> Option<(Priority, T)> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         loop {
             if let Some(hit) = self.pick(&mut st) {
                 return Some(hit);
@@ -124,7 +124,7 @@ impl<T> Scheduler<T> {
             if st.shutdown {
                 return None;
             }
-            st = self.available.wait(st).unwrap();
+            self.available.wait(&mut st);
         }
     }
 
@@ -150,7 +150,9 @@ impl<T> Scheduler<T> {
                     (None, Some(_)) => Priority::Bulk,
                     (None, None) => return None,
                 };
-                let (_, job) = st.queues[class.index()].pop_front().unwrap();
+                // The class was picked because its front exists (still
+                // under the same lock), so this pop always yields a job.
+                let (_, job) = st.queues[class.index()].pop_front()?;
                 Some((class, job))
             }
         }
@@ -159,7 +161,7 @@ impl<T> Scheduler<T> {
     /// Marks the scheduler shut down and wakes all blocked poppers.
     /// Already-queued jobs are still drained; new pushes are refused.
     pub fn shutdown(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         st.shutdown = true;
         drop(st);
         self.available.notify_all();
@@ -168,7 +170,7 @@ impl<T> Scheduler<T> {
     /// Drains every queued job without dispatching it (used at
     /// shutdown to fail pending requests back to their clients).
     pub fn drain(&self) -> Vec<(Priority, T)> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         let mut out = Vec::new();
         for class in [Priority::Interactive, Priority::Bulk] {
             while let Some((_, job)) = st.queues[class.index()].pop_front() {

@@ -300,9 +300,15 @@ impl Wr {
         self.u64(v.to_bits());
     }
     fn str16(&mut self, s: &str) {
-        let len = u16::try_from(s.len()).expect("string longer than u16::MAX");
-        self.u16(len);
-        self.buf.extend_from_slice(s.as_bytes());
+        // Wire strings carry a u16 length prefix; longer content (only
+        // reachable through pathological error messages) is truncated at
+        // a char boundary rather than panicking the writer thread.
+        let mut end = s.len().min(usize::from(u16::MAX));
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        self.u16(end as u16);
+        self.buf.extend_from_slice(&s.as_bytes()[..end]);
     }
     fn vec_u32(&mut self, v: &[u32]) {
         self.u32(v.len() as u32);
@@ -357,23 +363,26 @@ impl<'a> Rd<'a> {
         Ok(s)
     }
 
+    /// Fixed-size read: `take` yields exactly `N` bytes, so the array
+    /// conversion is visibly infallible (no `try_into().unwrap()`).
+    fn take_n<const N: usize>(&mut self, context: &'static str) -> DecodeResult<[u8; N]> {
+        let s = self.take(N, context)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
     fn u8(&mut self, context: &'static str) -> DecodeResult<u8> {
         Ok(self.take(1, context)?[0])
     }
     fn u16(&mut self, context: &'static str) -> DecodeResult<u16> {
-        Ok(u16::from_le_bytes(
-            self.take(2, context)?.try_into().unwrap(),
-        ))
+        Ok(u16::from_le_bytes(self.take_n(context)?))
     }
     fn u32(&mut self, context: &'static str) -> DecodeResult<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4, context)?.try_into().unwrap(),
-        ))
+        Ok(u32::from_le_bytes(self.take_n(context)?))
     }
     fn u64(&mut self, context: &'static str) -> DecodeResult<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8, context)?.try_into().unwrap(),
-        ))
+        Ok(u64::from_le_bytes(self.take_n(context)?))
     }
     fn f64(&mut self, context: &'static str) -> DecodeResult<f64> {
         Ok(f64::from_bits(self.u64(context)?))

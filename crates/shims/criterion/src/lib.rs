@@ -9,6 +9,9 @@
 //! one-line `min/mean/max` report. No statistics, plots, or baselines —
 //! for recorded comparisons use `crates/bench/src/bin/bench_diffusion.rs`.
 
+// The shim is plain timing plumbing; no unsafe needed.
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

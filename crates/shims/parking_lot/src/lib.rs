@@ -8,6 +8,9 @@
 //! inside a critical section must not poison the pool's job slot, because
 //! the thread-pool deliberately survives panicking loop bodies.
 
+// The shim wraps std::sync only; no unsafe needed.
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 

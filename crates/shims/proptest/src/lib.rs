@@ -13,6 +13,9 @@
 //! * **deterministic seeding** — each test derives its RNG seed from its
 //!   own name, so failures reproduce exactly across runs.
 
+// The shim is plain test plumbing; no unsafe needed.
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod test_runner {

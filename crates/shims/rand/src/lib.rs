@@ -7,6 +7,9 @@
 //! explicitly and only relies on determinism-per-seed, not on a specific
 //! stream.
 
+// The shim is pure arithmetic; no unsafe needed.
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Seeding entry point (the subset the workspace uses).

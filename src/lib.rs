@@ -321,6 +321,38 @@
 //! * [`server`] — the TCP front door: frame codec, wire types, the
 //!   two-class scheduler, per-tenant metrics, the blocking client, and
 //!   the `lgc-server` binary.
+//!
+//! # Correctness tooling
+//!
+//! The guarantees above — bitwise-deterministic results, bounded
+//! interruptible queries, a serving layer that degrades instead of
+//! dying — are invariants of *this* codebase, not of Rust, so the
+//! workspace audits them mechanically:
+//!
+//! * **`lgc-lint`** (`cargo run -p lgc-lint`, a required CI gate) is a
+//!   dependency-free source auditor with five rules: every `unsafe`
+//!   site states its soundness invariant (`unsafe-safety`); atomics
+//!   live only in files with a documented ordering protocol and
+//!   `SeqCst` is banned by default (`atomic-ordering`); no hash-order
+//!   iteration or wall-clock reads feed query results (`determinism`);
+//!   every diffusion frontier loop carries a `Checkpoint` tick
+//!   (`checkpoint-tick`); and `lgc-server` non-test code never panics
+//!   (`no-panic-in-server`). Reviewed exceptions use
+//!   `// lgc-lint: allow(<rule>) -- <reason>` pragmas — the reason is
+//!   mandatory. See `crates/lint/README.md` for the rule catalog.
+//! * **`clippy::undocumented_unsafe_blocks`** is enabled
+//!   workspace-wide (denied in CI), double-covering the SAFETY rule at
+//!   the compiler level; crates that need no `unsafe` — the server,
+//!   flow, bench, and the offline shims — pin that down with
+//!   `#![forbid(unsafe_code)]`.
+//! * **Miri** (nightly CI job) runs the compressed-CSR decoder and
+//!   backend-equivalence suites plus the sparse-set model tests under
+//!   the interpreter, checking the unaligned-read / `STREAM_PAD`
+//!   invariants dynamically.
+//! * **ThreadSanitizer** (nightly CI job, `-Zsanitizer=thread`) runs
+//!   the `lgc-parallel` and `lgc-sparse` suites — the pool's job
+//!   protocol, `UnsafeSlice` disjoint writes, and the phase-concurrent
+//!   accumulators — under a data-race detector.
 
 pub use lgc_core as cluster;
 pub use lgc_flow as flow;
